@@ -1,0 +1,55 @@
+"""Ablation of LDR's Section-4 optimizations (DESIGN.md §5).
+
+Not a table in the paper — the paper lists five optimizations and reports
+only the all-on configuration.  This bench quantifies what each one buys
+by disabling them one at a time on the 50-node/10-flow scenario.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.core import LdrConfig
+from repro.experiments.campaigns import node_scenario
+from repro.experiments.scenario import run_scenario
+
+VARIANTS = [
+    ("all-on", {}),
+    ("no-reduced-distance", {"reduced_distance_factor": None}),
+    ("no-request-as-error", {"request_as_error": False}),
+    ("no-multiple-rreps", {"multiple_rreps": False}),
+    ("no-min-lifetime", {"min_reply_lifetime": 0.0}),
+    ("no-optimal-ttl", {"optimal_ttl": False}),
+    # Not a Section-4 optimization: the follow-up work's loop-free
+    # alternate successors, measured against the paper's single-path LDR.
+    ("plus-multipath", {"multipath": True}),
+]
+
+
+def _ablation(campaign):
+    rows = []
+    for name, overrides in VARIANTS:
+        config = LdrConfig(**overrides)
+        samples = []
+        for trial in range(campaign.trials):
+            scenario = node_scenario(
+                campaign.num_nodes_small, 10, 0, campaign.duration,
+                seed=1 + trial, protocol="ldr",
+            ).replaced(protocol_config=config)
+            samples.append(run_scenario(scenario).as_dict())
+        mean = lambda key: sum(s[key] for s in samples) / len(samples)
+        rows.append((name, mean("delivery_ratio"), mean("network_load"),
+                     mean("rreq_load"), mean("mean_latency")))
+    return rows
+
+
+def test_ablation_ldr_optimizations(benchmark):
+    campaign = bench_campaign()
+    rows = benchmark.pedantic(_ablation, args=(campaign,),
+                              rounds=1, iterations=1)
+    lines = ["LDR optimization ablation (50 nodes, 10 flows, pause 0)"]
+    lines.append("{:<22}{:>10}{:>10}{:>10}{:>12}".format(
+        "variant", "delivery", "net load", "rreq", "latency"))
+    for name, delivery, load, rreq, latency in rows:
+        lines.append("{:<22}{:>10.3f}{:>10.2f}{:>10.2f}{:>12.4f}".format(
+            name, delivery, load, rreq, latency))
+    save_result("ablation", "\n".join(lines))
+    baseline = rows[0]
+    assert baseline[1] > 0.8

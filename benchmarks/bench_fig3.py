@@ -1,0 +1,20 @@
+"""Figure 3: delivery ratio vs pause time — 50 nodes, 30 flows (120 pps).
+
+Paper's reading: at high load LDR, AODV and OLSR bunch together (AODV
+sometimes edges ahead at high mobility); DSR degrades with mobility.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.experiments.figures import figure_delivery, format_series
+
+
+def test_fig3_delivery_50n_30f(benchmark):
+    campaign = bench_campaign()
+    series = benchmark.pedantic(
+        figure_delivery, args=(50, 30), kwargs={"campaign": campaign},
+        rounds=1, iterations=1,
+    )
+    save_result("fig3", format_series(
+        series, "Figure 3: delivery ratio vs pause time (50 nodes, 30 flows)",
+        ylabel="delivery ratio"))
+    assert series["ldr"][0][1] > 0.8

@@ -1,0 +1,20 @@
+"""Figure 4: delivery ratio vs pause time — 100 nodes, 10 flows.
+
+Paper's reading: LDR's minimum delivery ratio in this scenario is 98.5%
+(at the 200 s pause time); the larger terrain stresses route length.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.experiments.figures import figure_delivery, format_series
+
+
+def test_fig4_delivery_100n_10f(benchmark):
+    campaign = bench_campaign()
+    series = benchmark.pedantic(
+        figure_delivery, args=(100, 10), kwargs={"campaign": campaign},
+        rounds=1, iterations=1,
+    )
+    save_result("fig4", format_series(
+        series, "Figure 4: delivery ratio vs pause time (100 nodes, 10 flows)",
+        ylabel="delivery ratio"))
+    assert series["ldr"][0][1] > 0.7

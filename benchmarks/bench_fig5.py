@@ -1,0 +1,20 @@
+"""Figure 5: delivery ratio vs pause time — 100 nodes, 30 flows.
+
+Paper's reading: the hardest scenario; LDR, AODV and OLSR are
+statistically close on average, DSR clearly below under mobility.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.experiments.figures import figure_delivery, format_series
+
+
+def test_fig5_delivery_100n_30f(benchmark):
+    campaign = bench_campaign()
+    series = benchmark.pedantic(
+        figure_delivery, args=(100, 30), kwargs={"campaign": campaign},
+        rounds=1, iterations=1,
+    )
+    save_result("fig5", format_series(
+        series, "Figure 5: delivery ratio vs pause time (100 nodes, 30 flows)",
+        ylabel="delivery ratio"))
+    assert series["ldr"][0][1] > 0.6

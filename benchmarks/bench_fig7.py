@@ -1,0 +1,28 @@
+"""Figure 7: mean destination sequence number — LDR vs AODV, low/high load.
+
+Paper's reading (900 s runs): LDR's destinations increment their numbers
+at most 0.8 times on average at 10 flows and 3.7 at 30 flows, because only
+a destination may increment its own number and only for path resets.
+AODV's reach ~104 and ~108 — any node may increment another's number on a
+route break.  The two protocols should differ by about two orders of
+magnitude at full scale; at bench scale the gap is smaller but must be
+decisive.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.experiments.figures import figure_seqno, format_series
+
+
+def test_fig7_destination_seqno(benchmark):
+    campaign = bench_campaign()
+    series = benchmark.pedantic(
+        figure_seqno, kwargs={"campaign": campaign}, rounds=1, iterations=1,
+    )
+    save_result("fig7", format_series(
+        series, "Figure 7: mean destination sequence number (LDR vs AODV)",
+        ylabel="mean destination seqno"))
+    # The paper's headline shape: AODV >> LDR at every load level.
+    for load in ("low", "high"):
+        aodv = max(point[1] for point in series["aodv-" + load])
+        ldr = max(point[1] for point in series["ldr-" + load])
+        assert aodv > 2 * ldr, (load, aodv, ldr)

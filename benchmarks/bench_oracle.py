@@ -1,0 +1,52 @@
+"""Oracle bound + coordination cost (contextualizes Figures 2–5).
+
+Two measurements beyond the paper:
+
+* the **oracle** (god-view shortest paths, zero control traffic) bounds
+  what any protocol could deliver on each scenario — protocol-induced loss
+  is the gap to the oracle, not to 1.0;
+* **DUAL** and **TORA**, the coordination-based loop-free alternatives the
+  paper's introduction argues against, measured on the same workload.
+"""
+
+from benchmarks.conftest import bench_campaign, save_result
+from repro.analysis import connectivity_ratio
+from repro.experiments.campaigns import node_scenario
+from repro.experiments.scenario import build_scenario, run_scenario
+
+PROTOCOLS = ("oracle", "ldr", "aodv", "roam", "tora", "dual")
+
+
+def _rows(campaign):
+    rows = []
+    scenario_cfg = node_scenario(campaign.num_nodes_small, 10, 0,
+                                 campaign.duration, seed=1)
+    bound = connectivity_ratio(
+        build_scenario(scenario_cfg).mobility, campaign.duration, samples=20)
+    for protocol in PROTOCOLS:
+        report = run_scenario(scenario_cfg.replaced(protocol=protocol))
+        d = report.as_dict()
+        rows.append((protocol, d["delivery_ratio"], d["network_load"],
+                     d["mean_latency"]))
+    return bound, rows
+
+
+def test_oracle_bound_and_coordination_cost(benchmark):
+    campaign = bench_campaign()
+    bound, rows = benchmark.pedantic(_rows, args=(campaign,),
+                                     rounds=1, iterations=1)
+    lines = ["Oracle bound & coordination cost (50 nodes, 10 flows, pause 0)"]
+    lines.append("all-pairs physical connectivity: %.3f" % bound)
+    lines.append("{:<10}{:>10}{:>12}{:>12}".format(
+        "protocol", "delivery", "net load", "latency"))
+    for protocol, delivery, load, latency in rows:
+        lines.append("{:<10}{:>10.3f}{:>12.2f}{:>12.4f}".format(
+            protocol, delivery, load, latency))
+    save_result("oracle_bound", "\n".join(lines))
+
+    results = {protocol: delivery for protocol, delivery, _, _ in rows}
+    # Nothing beats the oracle, and on-demand LDR beats coordinated DUAL's
+    # overhead by a wide margin.
+    assert results["oracle"] >= max(results.values()) - 1e-9
+    loads = {protocol: load for protocol, _, load, _ in rows}
+    assert loads["dual"] > 3 * loads["ldr"]

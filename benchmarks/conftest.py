@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section 4).  By default the campaigns are *scaled down* so the
+whole suite runs in minutes on a laptop; set environment variables to
+approach the paper's full scale:
+
+* ``REPRO_PAPER_SCALE=1`` — 900-second runs, 10 trials, the full pause
+  sweep (hours of wall-clock).
+* ``REPRO_BENCH_DURATION`` — seconds per run (default 45).
+* ``REPRO_BENCH_TRIALS`` — trials per configuration (default 1).
+
+Results are printed and written under ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.campaigns import Campaign
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_campaign():
+    """The campaign all benches share, controlled by the env knobs above."""
+    if os.environ.get("REPRO_PAPER_SCALE") == "1":
+        return Campaign(paper_scale=True)
+    duration = float(os.environ.get("REPRO_BENCH_DURATION", "45"))
+    trials = int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
+    return Campaign(paper_scale=False, duration=duration, trials=trials)
+
+
+def save_result(name, text):
+    """Print a regenerated table/figure and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / (name + ".txt")).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def campaign():
+    return bench_campaign()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""What coordination-based loop freedom costs in a MANET.
+
+    python examples/coordination_cost.py
+
+The paper's introduction argues that DUAL-style diffusing computations and
+TORA-style link reversal "incur more control messages compared to AODV,
+DSR, and other on-demand protocols".  This example runs LDR next to DUAL,
+TORA and the omniscient oracle on an identical workload and prints the
+cost each approach pays for its loop-freedom guarantee.
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.analysis import connectivity_ratio
+from repro.experiments import build_scenario
+
+NOTES = {
+    "oracle": "god view: upper bound, no control traffic at all",
+    "ldr": "on-demand + distance labels (this paper)",
+    "aodv": "on-demand + destination sequence numbers",
+    "roam": "on-demand DUAL: diffusing searches (LDR's closest relative)",
+    "tora": "link reversal over a destination-oriented DAG",
+    "dual": "diffusing computations (reliable queries to ALL neighbors)",
+}
+
+
+def main():
+    base = ScenarioConfig(num_nodes=30, width=1200.0, height=300.0,
+                          num_flows=5, duration=45.0, pause_time=0.0,
+                          seed=11)
+    bound = connectivity_ratio(build_scenario(base).mobility, base.duration,
+                               samples=20)
+    print("Workload: 30 nodes, 5 CBR flows, constant motion, 45 s")
+    print("Physical all-pairs connectivity over the run: %.3f\n" % bound)
+    header = "{:<8}{:>10}{:>12}{:>12}   {}".format(
+        "proto", "delivery", "ctrl load", "latency", "mechanism")
+    print(header)
+    print("-" * (len(header) + 24))
+    for protocol in ("oracle", "ldr", "aodv", "roam", "tora", "dual"):
+        report = run_scenario(base.replaced(protocol=protocol))
+        print("{:<8}{:>10.3f}{:>12.2f}{:>12.4f}   {}".format(
+            protocol, report.delivery_ratio, report.network_load,
+            report.mean_latency, NOTES[protocol]))
+    print("\n'ctrl load' = control transmissions per delivered data packet.")
+    print("DUAL's reliable per-neighbor queries/updates dominate its cost —")
+    print("exactly the coordination the paper's LDR eliminates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 1 and the figure series from the command
+line (without pytest).
+
+    python examples/paper_tables.py --what table1 --flows 10
+    python examples/paper_tables.py --what fig2
+    python examples/paper_tables.py --what fig7 --duration 90 --trials 2
+    python examples/paper_tables.py --what all --paper-scale   # hours!
+
+``--paper-scale`` switches to the full 900-second, 10-trial campaign.
+"""
+
+import argparse
+
+from repro.experiments.campaigns import Campaign
+from repro.experiments.figures import (
+    figure_delivery,
+    figure_qualnet_crosscheck,
+    figure_seqno,
+    format_series,
+)
+from repro.experiments.tables import format_table1, table1
+
+FIGURES = {
+    "fig2": (50, 10, "Figure 2 (50 nodes, 10 flows)"),
+    "fig3": (50, 30, "Figure 3 (50 nodes, 30 flows)"),
+    "fig4": (100, 10, "Figure 4 (100 nodes, 10 flows)"),
+    "fig5": (100, 30, "Figure 5 (100 nodes, 30 flows)"),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--what", default="table1",
+                        choices=["table1", "fig2", "fig3", "fig4", "fig5",
+                                 "fig6", "fig7", "all"])
+    parser.add_argument("--flows", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+
+    campaign = Campaign(paper_scale=args.paper_scale,
+                        duration=args.duration, trials=args.trials)
+    targets = ([args.what] if args.what != "all"
+               else ["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"])
+    for what in targets:
+        if what == "table1":
+            results = table1(args.flows, campaign=campaign)
+            print(format_table1(results, args.flows))
+        elif what in FIGURES:
+            nodes, flows, title = FIGURES[what]
+            series = figure_delivery(nodes, flows, campaign=campaign)
+            print(format_series(series, title, ylabel="delivery ratio"))
+        elif what == "fig6":
+            series = figure_qualnet_crosscheck(campaign=campaign)
+            print(format_series(series, "Figure 6 (QualNet cross-check)",
+                                ylabel="delivery ratio"))
+        elif what == "fig7":
+            series = figure_seqno(campaign=campaign)
+            print(format_series(series, "Figure 7 (destination seqno)",
+                                ylabel="mean destination seqno"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

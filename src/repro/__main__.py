@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command> ...``
+
+Commands
+--------
+run           one scenario, print the paper's metrics
+compare       several protocols on the identical workload
+table1        regenerate Table 1 for a flow count
+figure        regenerate one of Figures 2-7
+connectivity  physical connectivity bound of a scenario's mobility
+audit         loop-freedom audit of LDR under the given scenario
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis import connectivity_ratio
+from repro.experiments import (
+    PROTOCOLS,
+    ScenarioConfig,
+    build_scenario,
+    run_scenario,
+)
+from repro.experiments.campaigns import Campaign
+from repro.experiments.figures import (
+    figure_delivery,
+    figure_qualnet_crosscheck,
+    figure_seqno,
+    format_series,
+)
+from repro.experiments.tables import format_table1, table1
+
+
+def _add_scenario_args(parser):
+    parser.add_argument("--protocol", default="ldr", choices=sorted(PROTOCOLS))
+    parser.add_argument("--nodes", type=int, default=50)
+    parser.add_argument("--flows", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--pause", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--width", type=float, default=None)
+    parser.add_argument("--height", type=float, default=None)
+
+
+def _scenario_from(args, protocol=None):
+    width = args.width if args.width else (1500.0 if args.nodes <= 50 else 2200.0)
+    height = args.height if args.height else (300.0 if args.nodes <= 50 else 600.0)
+    return ScenarioConfig(
+        protocol=protocol or args.protocol, num_nodes=args.nodes,
+        width=width, height=height, num_flows=args.flows,
+        duration=args.duration, pause_time=args.pause, seed=args.seed,
+    )
+
+
+def cmd_run(args):
+    report = run_scenario(_scenario_from(args))
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
+def cmd_compare(args):
+    protocols = args.protocols.split(",")
+    keys = ("delivery_ratio", "mean_latency", "network_load", "rreq_load",
+            "mean_destination_seqno")
+    header = "{:<8}".format("proto") + "".join("{:>14}".format(k[:13]) for k in keys)
+    print(header)
+    print("-" * len(header))
+    for protocol in protocols:
+        if protocol not in PROTOCOLS:
+            print("unknown protocol: %s" % protocol, file=sys.stderr)
+            return 2
+        row = run_scenario(_scenario_from(args, protocol)).as_dict()
+        print("{:<8}".format(protocol) + "".join(
+            "{:>14.4f}".format(row[k]) for k in keys))
+    return 0
+
+
+def cmd_table1(args):
+    campaign = Campaign(paper_scale=args.paper_scale,
+                        duration=args.duration, trials=args.trials)
+    print(format_table1(table1(args.flows, campaign=campaign), args.flows))
+    return 0
+
+
+def cmd_figure(args):
+    campaign = Campaign(paper_scale=args.paper_scale,
+                        duration=args.duration, trials=args.trials)
+    figures = {
+        "fig2": lambda: figure_delivery(50, 10, campaign=campaign),
+        "fig3": lambda: figure_delivery(50, 30, campaign=campaign),
+        "fig4": lambda: figure_delivery(100, 10, campaign=campaign),
+        "fig5": lambda: figure_delivery(100, 30, campaign=campaign),
+        "fig6": lambda: figure_qualnet_crosscheck(campaign=campaign),
+        "fig7": lambda: figure_seqno(campaign=campaign),
+    }
+    series = figures[args.name]()
+    ylabel = "mean destination seqno" if args.name == "fig7" else "delivery ratio"
+    print(format_series(series, "Figure %s" % args.name[3:], ylabel=ylabel))
+    return 0
+
+
+def cmd_connectivity(args):
+    scenario = build_scenario(_scenario_from(args))
+    bound = connectivity_ratio(scenario.mobility, args.duration,
+                               samples=args.samples)
+    print("all-pairs physical connectivity: %.4f" % bound)
+    return 0
+
+
+def cmd_audit(args):
+    config = _scenario_from(args).replaced(protocol="ldr", loop_check=True)
+    scenario = build_scenario(config)
+    scenario.run()
+    checker = scenario.loop_checker
+    print("table audits run : %d" % checker.checks_run)
+    print("violations       : %d" % len(checker.violations))
+    print("LDR loop-free    : %s" % ("YES" if not checker.violations else "NO"))
+    return 0 if not checker.violations else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one scenario")
+    _add_scenario_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="compare protocols on one workload")
+    _add_scenario_args(p)
+    p.add_argument("--protocols", default="ldr,aodv,dsr,olsr")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--flows", type=int, default=10)
+    p.add_argument("--paper-scale", action="store_true")
+    p.add_argument("--duration", type=float, default=None)
+    p.add_argument("--trials", type=int, default=None)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("figure", help="regenerate a figure")
+    p.add_argument("name", choices=["fig2", "fig3", "fig4", "fig5", "fig6",
+                                    "fig7"])
+    p.add_argument("--paper-scale", action="store_true")
+    p.add_argument("--duration", type=float, default=None)
+    p.add_argument("--trials", type=int, default=None)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("connectivity", help="physical connectivity bound")
+    _add_scenario_args(p)
+    p.add_argument("--samples", type=int, default=25)
+    p.set_defaults(func=cmd_connectivity)
+
+    p = sub.add_parser("audit", help="LDR loop-freedom audit")
+    _add_scenario_args(p)
+    p.set_defaults(func=cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

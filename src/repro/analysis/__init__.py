@@ -1,0 +1,21 @@
+"""Statistical and topological analysis helpers."""
+
+from repro.analysis.connectivity import (
+    connectivity_ratio,
+    pair_connected,
+    partition_events,
+    topology_graph,
+)
+from repro.analysis.stats import Aggregate, mean_confidence_interval
+from repro.analysis.visualize import ascii_topology, route_string
+
+__all__ = [
+    "Aggregate",
+    "ascii_topology",
+    "connectivity_ratio",
+    "mean_confidence_interval",
+    "pair_connected",
+    "partition_events",
+    "route_string",
+    "topology_graph",
+]

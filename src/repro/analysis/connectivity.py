@@ -1,0 +1,79 @@
+"""Topology analysis of scenarios (networkx-backed).
+
+Used to contextualize delivery ratios: a pair of nodes that is *physically
+partitioned* cannot be served by any routing protocol, so the interesting
+quantity is delivery relative to the connectivity bound, not the raw
+ratio.  EXPERIMENTS.md and ``benchmarks/bench_oracle.py`` lean on this.
+"""
+
+import networkx as nx
+
+
+def topology_graph(mobility, t, transmission_range=275.0):
+    """The unit-disk connectivity graph at time ``t``."""
+    graph = nx.Graph()
+    node_ids = mobility.node_ids()
+    graph.add_nodes_from(node_ids)
+    positions = {n: mobility.position(n, t) for n in node_ids}
+    limit = transmission_range * transmission_range
+    for i, a in enumerate(node_ids):
+        ax, ay = positions[a]
+        for b in node_ids[i + 1:]:
+            bx, by = positions[b]
+            dx, dy = ax - bx, ay - by
+            if dx * dx + dy * dy <= limit:
+                graph.add_edge(a, b)
+    return graph
+
+
+def pair_connected(mobility, src, dst, t, transmission_range=275.0):
+    """Is there a multihop path between src and dst at time ``t``?"""
+    graph = topology_graph(mobility, t, transmission_range)
+    return nx.has_path(graph, src, dst)
+
+
+def connectivity_ratio(mobility, duration, samples=50,
+                       transmission_range=275.0, pairs=None):
+    """Fraction of (pair, time) samples with a physical path.
+
+    ``pairs=None`` samples all ordered pairs; this is an upper bound on
+    any protocol's achievable delivery ratio for uniformly chosen flows.
+    """
+    node_ids = mobility.node_ids()
+    if pairs is None:
+        pairs = [(a, b) for a in node_ids for b in node_ids if a < b]
+    connected = 0
+    total = 0
+    for k in range(samples):
+        t = duration * k / max(1, samples - 1)
+        graph = topology_graph(mobility, t, transmission_range)
+        components = {node: i for i, comp in
+                      enumerate(nx.connected_components(graph))
+                      for node in comp}
+        for a, b in pairs:
+            total += 1
+            if components.get(a) == components.get(b):
+                connected += 1
+    return connected / total if total else 0.0
+
+
+def partition_events(mobility, duration, src, dst, resolution=1.0,
+                     transmission_range=275.0):
+    """Time intervals during which ``src`` and ``dst`` are partitioned.
+
+    Returns a list of (start, end) intervals sampled at ``resolution``.
+    """
+    intervals = []
+    current_start = None
+    t = 0.0
+    while t <= duration:
+        connected = pair_connected(mobility, src, dst, t, transmission_range)
+        if not connected and current_start is None:
+            current_start = t
+        elif connected and current_start is not None:
+            intervals.append((current_start, t))
+            current_start = None
+        t += resolution
+    if current_start is not None:
+        intervals.append((current_start, duration))
+    return intervals

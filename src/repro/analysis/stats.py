@@ -1,0 +1,51 @@
+"""Means and 95% confidence intervals.
+
+The paper reports every measurement with a 95% confidence interval
+(Student's t over 10 trials); :func:`mean_confidence_interval` reproduces
+that computation.
+"""
+
+import math
+
+from scipy import stats as _scipy_stats
+
+
+def mean_confidence_interval(values, confidence=0.95):
+    """Return ``(mean, half_width)`` of the two-sided CI for ``values``.
+
+    With fewer than two samples the half-width is 0 (no spread estimate).
+    """
+    values = list(values)
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = _scipy_stats.t.ppf((1 + confidence) / 2.0, n - 1)
+    return mean, t_crit * sem
+
+
+class Aggregate:
+    """Mean ± CI over a set of trial values for one metric."""
+
+    __slots__ = ("values", "mean", "ci")
+
+    def __init__(self, values, confidence=0.95):
+        self.values = list(values)
+        self.mean, self.ci = mean_confidence_interval(self.values, confidence)
+
+    def overlaps(self, other):
+        """Statistically indistinguishable (overlapping CIs)?
+
+        The paper uses this reading ("statistically identical ...
+        overlapping confidence intervals").
+        """
+        lo_a, hi_a = self.mean - self.ci, self.mean + self.ci
+        lo_b, hi_b = other.mean - other.ci, other.mean + other.ci
+        return lo_a <= hi_b and lo_b <= hi_a
+
+    def __repr__(self):
+        return "{:.4g} ± {:.3g}".format(self.mean, self.ci)

@@ -1,0 +1,69 @@
+"""Terminal visualization of scenarios.
+
+`ascii_topology` renders node positions (and optionally a route) on a
+character grid — enough to eyeball a failing test's geometry without
+leaving the terminal.
+"""
+
+
+def ascii_topology(mobility, t=0.0, width=60, height=18, route=None,
+                   transmission_range=None):
+    """Render node positions at time ``t`` on a ``width`` x ``height`` grid.
+
+    Nodes are drawn as their id's last character ('*' on collisions);
+    nodes on ``route`` are upper-cased by marking them with '#'.  Returns
+    the drawing as a string.
+    """
+    node_ids = mobility.node_ids()
+    positions = {n: mobility.position(n, t) for n in node_ids}
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    route_nodes = set(route or ())
+    for node, (x, y) in sorted(positions.items()):
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        row = height - 1 - row  # y axis grows upward
+        current = grid[row][col]
+        if current != " ":
+            grid[row][col] = "*"
+        elif node in route_nodes:
+            grid[row][col] = "#"
+        else:
+            grid[row][col] = str(node)[-1]
+
+    lines = ["".join(row) for row in grid]
+    legend = "x: [{:.0f}, {:.0f}] m   y: [{:.0f}, {:.0f}] m   t={:.1f}s".format(
+        min_x, max_x, min_y, max_y, t)
+    if route:
+        legend += "   route {} drawn as '#'".format(list(route))
+    if transmission_range:
+        legend += "   range {:.0f} m".format(transmission_range)
+    return "\n".join(lines + [legend])
+
+
+def route_string(protocols, src, dst, max_hops=32):
+    """Follow successors from ``src`` toward ``dst``; returns the walk.
+
+    Ends with '!' on a dead end and '@' if the hop limit trips (which the
+    loop checker would have caught as a cycle).
+    """
+    path = [src]
+    current = src
+    for _ in range(max_hops):
+        if current == dst:
+            return path
+        protocol = protocols.get(current)
+        nxt = protocol.successor(dst) if protocol is not None else None
+        if nxt is None:
+            path.append("!")
+            return path
+        path.append(nxt)
+        current = nxt
+    path.append("@")
+    return path

@@ -1,0 +1,122 @@
+"""The three loop-freedom conditions of Section 2.1, as pure predicates.
+
+These are kept free of protocol state so the property-based tests can
+exercise them exhaustively.  Sequence numbers are any totally-ordered
+values (the protocol uses :class:`repro.routing.seqnum.LabeledSeq`); a
+``None`` sequence number means "no information", which every concrete
+number exceeds.
+"""
+
+INFINITY = float("inf")
+
+
+def _sn_greater(a, b):
+    """Is sequence number ``a`` fresher than ``b``?  ``None`` = no info."""
+    if a is None:
+        return False
+    if b is None:
+        return True
+    return a > b
+
+
+def _sn_equal(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    return a == b
+
+
+def ndc_accepts(entry_sn, entry_fd, adv_sn, adv_dist):
+    """Numbered Distance Condition.
+
+    Node A may accept an advertisement ``(adv_sn, adv_dist)`` for D and
+    update its routing table independently of other nodes when A has no
+    information about D, or::
+
+        sn* > sn_A                                  (1)
+        sn* = sn_A  and  d* < fd_A                  (2)
+
+    ``entry_sn is None`` encodes "no information about the destination".
+    """
+    if entry_sn is None:
+        return True
+    if _sn_greater(adv_sn, entry_sn):
+        return True
+    return _sn_equal(adv_sn, entry_sn) and adv_dist < entry_fd
+
+
+def fdc_violated(my_sn, my_fd, req_sn, req_fd):
+    """Feasible Distance Condition (the T-bit trigger).
+
+    Relay I must set ``T = 1`` in the forwarded solicitation when::
+
+        sn_I = sn#  and  fd_I >= fd#
+
+    i.e. I sits on the same sequence number but cannot demonstrate a
+    strictly smaller feasible distance — answering below I could create a
+    feasible-distance ordering violation.
+    """
+    if my_sn is None:
+        return False
+    return _sn_equal(my_sn, req_sn) and my_fd >= req_fd
+
+
+def sdc_allows_reply(active, my_sn, my_dist, req_sn, req_fd, t_bit,
+                     ignore_t_bit=False):
+    """Start Distance Condition.
+
+    Node I may initiate an advertisement answering a solicitation when it
+    has an **active** route and::
+
+        sn_I = sn#  and  d_I < fd#  and  not T      (3)
+        sn_I > sn#                                  (4)
+
+    ``ignore_t_bit=True`` evaluates SDC "without consideration to the T
+    bit" — the test that selects the node that unicasts the reset RREQ to
+    the destination (Section 2.2).
+    """
+    if not active:
+        return False
+    if _sn_greater(my_sn, req_sn):
+        return True
+    if not _sn_equal(my_sn, req_sn):
+        return False
+    if my_dist >= req_fd:
+        return False
+    return ignore_t_bit or not t_bit
+
+
+def t_bit_update(my_sn, my_fd, req_sn, req_fd, t_bit):
+    """Eq. 8: the relayed solicitation's T bit.
+
+    * 0 when the relay's sequence number exceeds the requested one (the
+      relay strengthens the solicitation, so any reply acts as a reset);
+    * unchanged when the relay matches the ordering criteria
+      (``sn`` equal and ``fd`` strictly smaller);
+    * 1 when the relay violates the ordering criteria (FDC);
+    * unchanged when the relay has no or older information.
+    """
+    if my_sn is None:
+        return t_bit
+    if _sn_greater(my_sn, req_sn):
+        return False
+    if _sn_equal(my_sn, req_sn):
+        if my_fd < req_fd:
+            return t_bit
+        return True
+    return t_bit
+
+
+def strengthen_solicitation(my_sn, my_fd, req_sn, req_fd):
+    """Eqs. 5–6: the relayed solicitation's ``(sn#, fd#)``.
+
+    The relay raises the solicitation to the *stronger* of its own
+    invariants and those already present, guaranteeing that any solicited
+    advertisement is usable by the relay as well (Lemma 3).
+    """
+    if my_sn is None:
+        return req_sn, req_fd
+    if _sn_greater(my_sn, req_sn):
+        return my_sn, my_fd
+    if _sn_equal(my_sn, req_sn):
+        return req_sn, min(my_fd, req_fd)
+    return req_sn, req_fd

@@ -1,0 +1,119 @@
+"""LDR control messages (Table 1 of the paper, RREQ/RREP/RERR structure).
+
+Solicitation = the route-request part of a RREQ; advertisement = the
+route-offer part of a RREQ (toward its source) or of a RREP.  Messages are
+copied hop by hop because relays rewrite fields (distance accumulation,
+invariant strengthening, T/N bits).
+"""
+
+from repro.net.packet import Packet
+
+#: Unknown distance / feasible distance (node has no information).
+INFINITY = float("inf")
+
+
+class LdrRreq(Packet):
+    """Route request: ``(dst, sn_dst, rreqid, src, sn_src, fd, dist, flags)``.
+
+    * ``sn_dst`` / ``fd`` — the solicitation invariants: the requester's
+      sequence number and feasible distance for the destination (``None`` /
+      ``INFINITY`` when unknown).  Relays may *strengthen* them (Eqs. 5–6).
+    * ``answering_fd`` — the reduced-distance extension tested by SDC.
+    * ``dist`` — measured distance of the path traversed so far (Eq. 7);
+      with ``sn_src`` it makes the RREQ an advertisement for ``src``.
+    * ``t_bit`` — reset required (FDC violated somewhere upstream).
+    * ``n_bit`` — some relay could not build the reverse path, so the RREQ
+      is no longer an advertisement for ``src``.
+    * ``d_bit`` — destination-only: unicast reset probe that only the
+      destination may answer (with a sequence-number increment).
+    """
+
+    kind = "rreq"
+    size_bytes = 36
+
+    def __init__(self, dst, sn_dst, rreqid, src, sn_src, fd,
+                 dist=0, ttl=1, t_bit=False, n_bit=False, d_bit=False,
+                 answering_fd=None):
+        super().__init__()
+        self.dst = dst
+        self.sn_dst = sn_dst
+        self.rreqid = rreqid
+        self.src = src
+        self.sn_src = sn_src
+        self.fd = INFINITY if fd is None else fd
+        self.answering_fd = self.fd if answering_fd is None else answering_fd
+        self.dist = dist
+        self.ttl = ttl
+        self.t_bit = t_bit
+        self.n_bit = n_bit
+        self.d_bit = d_bit
+
+    def copy(self):
+        clone = LdrRreq(
+            self.dst, self.sn_dst, self.rreqid, self.src, self.sn_src,
+            self.fd, dist=self.dist, ttl=self.ttl, t_bit=self.t_bit,
+            n_bit=self.n_bit, d_bit=self.d_bit, answering_fd=self.answering_fd,
+        )
+        return clone
+
+    def __repr__(self):
+        flags = "".join(
+            b for b, on in (("T", self.t_bit), ("N", self.n_bit), ("D", self.d_bit)) if on
+        )
+        return "LdrRreq(dst={}, src={}, id={}, fd={}, dist={}, ttl={}, [{}])".format(
+            self.dst, self.src, self.rreqid, self.fd, self.dist, self.ttl, flags
+        )
+
+
+class LdrRrep(Packet):
+    """Route reply: ``(dst, sn_dst, src, rreqid, dist, lifetime, flags)``.
+
+    ``src`` is the terminus — the originator of the RREQ the reply answers.
+    ``dist`` is the replier's measured distance to ``dst`` (relays rewrite
+    it with their own, Procedure 4).  ``lifetime`` caps route caching.
+    """
+
+    kind = "rrep"
+    size_bytes = 28
+
+    def __init__(self, dst, sn_dst, src, rreqid, dist, lifetime, n_bit=False):
+        super().__init__()
+        self.dst = dst
+        self.sn_dst = sn_dst
+        self.src = src
+        self.rreqid = rreqid
+        self.dist = dist
+        self.lifetime = lifetime
+        self.n_bit = n_bit
+
+    def copy(self):
+        return LdrRrep(self.dst, self.sn_dst, self.src, self.rreqid,
+                       self.dist, self.lifetime, n_bit=self.n_bit)
+
+    def __repr__(self):
+        return "LdrRrep(dst={}, terminus={}, id={}, sn={}, dist={})".format(
+            self.dst, self.src, self.rreqid, self.sn_dst, self.dist
+        )
+
+
+class LdrRerr(Packet):
+    """Route error: unreachable destinations with their sequence numbers.
+
+    Unlike AODV, the sequence numbers are *not* incremented — only a
+    destination may increment its own number; the RERR merely invalidates
+    routes through the failed link.
+    """
+
+    kind = "rerr"
+
+    def __init__(self, unreachable):
+        super().__init__()
+        # list of (destination id, LabeledSeq or None)
+        self.unreachable = list(unreachable)
+        self.size_bytes = 12 + 8 * len(self.unreachable)
+
+    def copy(self):
+        return LdrRerr(self.unreachable)
+
+    def __repr__(self):
+        return "LdrRerr({})".format([d for d, _ in self.unreachable])

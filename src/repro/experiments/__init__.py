@@ -1,0 +1,28 @@
+"""Experiment harness: scenario construction, multi-trial runs, and the
+generators for every table and figure in the paper's evaluation.
+
+* :mod:`repro.experiments.scenario` — one simulation run.
+* :mod:`repro.experiments.runner` — seeds, trials, aggregation.
+* :mod:`repro.experiments.campaigns` — the paper's 50-node and 100-node
+  configurations (scaled by default; ``paper_scale=True`` for the real
+  thing).
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` —
+  Table 1 and Figures 2–7.
+"""
+
+from repro.experiments.runner import run_protocol_comparison, run_trials
+from repro.experiments.scenario import (
+    PROTOCOLS,
+    ScenarioConfig,
+    build_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "ScenarioConfig",
+    "build_scenario",
+    "run_protocol_comparison",
+    "run_scenario",
+    "run_trials",
+]

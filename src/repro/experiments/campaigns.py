@@ -1,0 +1,75 @@
+"""The paper's experiment campaigns (Section 4).
+
+Two main sets of simulations:
+
+* 50 nodes on a 1500 m x 300 m terrain;
+* 100 nodes on a 2200 m x 600 m terrain;
+
+each with 10-flow and 30-flow CBR loads (512-byte packets, 4 pps/flow,
+exponential flow lengths with 100 s mean), nodes moving at 1–20 m/s under
+random waypoint, pause times swept from 0 to the run length, 900-second
+runs, 10 trials per point.
+
+Paper-scale runs take hours in pure Python, so the default here is a
+*scaled* campaign (shorter runs, fewer pauses, fewer trials) that keeps the
+load/mobility ratios; pass ``paper_scale=True`` to regenerate at full
+scale.
+"""
+
+from repro.experiments.scenario import ScenarioConfig
+
+#: Protocols compared throughout the evaluation.
+COMPARED_PROTOCOLS = ("ldr", "aodv", "dsr", "olsr")
+
+
+def node_scenario(num_nodes, num_flows, pause_time, duration, seed=1,
+                  protocol="ldr", **overrides):
+    """One of the paper's two terrains, selected by node count."""
+    if num_nodes <= 50:
+        width, height = 1500.0, 300.0
+    else:
+        width, height = 2200.0, 600.0
+    config = ScenarioConfig(
+        protocol=protocol,
+        num_nodes=num_nodes,
+        width=width,
+        height=height,
+        num_flows=num_flows,
+        duration=duration,
+        pause_time=pause_time,
+        seed=seed,
+    )
+    return config.replaced(**overrides) if overrides else config
+
+
+def pause_sweep(duration, paper_scale=False):
+    """The pause times swept on a figure's x-axis.
+
+    The paper uses 0..900 s; scaled runs sweep the same fractions of the
+    (shorter) run length.
+    """
+    if paper_scale:
+        return [0, 30, 60, 120, 300, 600, 900]
+    fractions = (0.0, 0.25, 1.0)
+    return [round(f * duration) for f in fractions]
+
+
+class Campaign:
+    """Shared knobs for a table/figure regeneration."""
+
+    def __init__(self, paper_scale=False, duration=None, trials=None,
+                 num_nodes_small=None, num_nodes_large=None):
+        self.paper_scale = paper_scale
+        if paper_scale:
+            self.duration = duration or 900.0
+            self.trials = trials or 10
+            self.num_nodes_small = num_nodes_small or 50
+            self.num_nodes_large = num_nodes_large or 100
+        else:
+            self.duration = duration or 60.0
+            self.trials = trials or 2
+            self.num_nodes_small = num_nodes_small or 50
+            self.num_nodes_large = num_nodes_large or 100
+
+    def pauses(self):
+        return pause_sweep(self.duration, self.paper_scale)

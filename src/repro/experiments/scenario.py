@@ -1,0 +1,207 @@
+"""Build and run one simulation scenario.
+
+A scenario = terrain + mobility + MAC + one routing protocol on every node
++ CBR traffic + metrics.  :func:`run_scenario` returns a
+:class:`~repro.metrics.report.RunReport` whose ``as_dict()`` carries all
+the paper's metrics for that single trial.
+"""
+
+from repro.core import LdrConfig, LdrProtocol
+from repro.metrics import MetricsCollector, RunReport
+from repro.mobility import RandomWaypoint, StaticPlacement
+from repro.net import MacConfig, Node, WirelessChannel
+from repro.protocols import (
+    AodvConfig,
+    AodvProtocol,
+    DsrConfig,
+    DsrProtocol,
+    DualConfig,
+    DualProtocol,
+    NsrConfig,
+    NsrProtocol,
+    OlsrConfig,
+    OlsrProtocol,
+    OracleConfig,
+    OracleProtocol,
+    RoamConfig,
+    RoamProtocol,
+    ToraConfig,
+    ToraProtocol,
+)
+from repro.routing import LoopChecker
+from repro.sim import Simulator
+from repro.traffic import TrafficGenerator
+
+
+def _dsr_draft7_config():
+    """The QualNet DSR (draft 7) variant used for Figure 6.
+
+    Draft 7 tightened route-cache handling; modelled here as a much shorter
+    cache lifetime plus one extra salvage attempt — "slightly better, but
+    still the same downward trend with increasing mobility" (Section 4).
+    """
+    return DsrConfig(cache_lifetime=30.0, max_salvage_count=5)
+
+
+PROTOCOLS = {
+    "ldr": (LdrProtocol, LdrConfig),
+    "aodv": (AodvProtocol, AodvConfig),
+    "dsr": (DsrProtocol, DsrConfig),
+    "dsr7": (DsrProtocol, _dsr_draft7_config),
+    "olsr": (OlsrProtocol, OlsrConfig),
+    "dual": (DualProtocol, DualConfig),
+    "tora": (ToraProtocol, ToraConfig),
+    "roam": (RoamProtocol, RoamConfig),
+    "nsr": (NsrProtocol, NsrConfig),
+    "oracle": (OracleProtocol, OracleConfig),
+}
+
+
+class ScenarioConfig:
+    """Everything needed to reproduce one run."""
+
+    def __init__(
+        self,
+        protocol="ldr",
+        num_nodes=50,
+        width=1500.0,
+        height=300.0,
+        num_flows=10,
+        rate=4.0,
+        packet_size=512,
+        mean_flow_length=100.0,
+        duration=900.0,
+        pause_time=0.0,
+        min_speed=1.0,
+        max_speed=20.0,
+        transmission_range=275.0,
+        gray_zone=0.0,
+        seed=1,
+        protocol_config=None,
+        mac_config=None,
+        mobility=None,
+        loop_check=False,
+        warmup=5.0,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                "unknown protocol %r (choose from %s)"
+                % (protocol, sorted(PROTOCOLS))
+            )
+        self.protocol = protocol
+        self.num_nodes = num_nodes
+        self.width = width
+        self.height = height
+        self.num_flows = num_flows
+        self.rate = rate
+        self.packet_size = packet_size
+        self.mean_flow_length = mean_flow_length
+        self.duration = duration
+        self.pause_time = pause_time
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.transmission_range = transmission_range
+        self.gray_zone = gray_zone
+        self.seed = seed
+        self.protocol_config = protocol_config
+        self.mac_config = mac_config
+        self.mobility = mobility
+        self.loop_check = loop_check
+        self.warmup = warmup
+
+    def replaced(self, **overrides):
+        import copy
+
+        clone = copy.copy(self)
+        for key, value in overrides.items():
+            if not hasattr(clone, key):
+                raise AttributeError("unknown ScenarioConfig field %r" % key)
+            setattr(clone, key, value)
+        return clone
+
+
+class Scenario:
+    """A built (but not yet run) simulation."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.metrics = MetricsCollector(self.sim)
+
+        if config.mobility is not None:
+            self.mobility = config.mobility
+        elif config.pause_time >= config.duration:
+            # Fully paused = static placement drawn from the same stream.
+            rng = self.sim.stream("mobility")
+            self.mobility = StaticPlacement({
+                i: (rng.uniform(0, config.width), rng.uniform(0, config.height))
+                for i in range(config.num_nodes)
+            })
+        else:
+            self.mobility = RandomWaypoint(
+                config.num_nodes, config.width, config.height,
+                min_speed=config.min_speed, max_speed=config.max_speed,
+                pause_time=config.pause_time, duration=config.duration,
+                rng=self.sim.stream("mobility"),
+            )
+
+        self.channel = WirelessChannel(
+            self.sim, self.mobility,
+            transmission_range=config.transmission_range,
+            gray_zone=config.gray_zone,
+        )
+        protocol_cls, default_config = PROTOCOLS[config.protocol]
+        proto_config = config.protocol_config
+        if proto_config is None:
+            proto_config = default_config()
+
+        self.nodes = {}
+        self.protocols = {}
+        for node_id in self.mobility.node_ids():
+            node = Node(self.sim, node_id, self.channel,
+                        mac_config=config.mac_config, metrics=self.metrics)
+            protocol = protocol_cls(
+                self.sim, node, config=proto_config, metrics=self.metrics
+            )
+            node.install_routing(protocol)
+            self.nodes[node_id] = node
+            self.protocols[node_id] = protocol
+
+        self.loop_checker = None
+        if config.loop_check:
+            self.loop_checker = LoopChecker(
+                list(self.protocols.values()),
+                check_ordering=(config.protocol == "ldr"),
+            ).install()
+
+        for node in self.nodes.values():
+            node.start()
+
+        self.traffic = TrafficGenerator(
+            self.sim, self.nodes, config.num_flows, rate=config.rate,
+            packet_size=config.packet_size,
+            mean_flow_length=config.mean_flow_length,
+            duration=config.duration, warmup=config.warmup,
+        )
+
+    def run(self):
+        """Run to completion and return the :class:`RunReport`."""
+        self.sim.run(until=self.config.duration)
+        # Fig. 7: record each traffic destination's own sequence number.
+        for dst in self.traffic.destinations_used():
+            protocol = self.protocols[dst]
+            if hasattr(protocol, "own_sequence_value"):
+                self.metrics.observe_final_seqno(
+                    dst, protocol.own_sequence_value()
+                )
+        return RunReport(self.metrics)
+
+
+def build_scenario(config):
+    """Construct a :class:`Scenario` without running it."""
+    return Scenario(config)
+
+
+def run_scenario(config):
+    """Build and run; returns the :class:`RunReport`."""
+    return Scenario(config).run()

@@ -1,0 +1,61 @@
+"""Table 1: the six metrics averaged over all pause times and both node
+counts for a given flow load, with 95% confidence intervals."""
+
+from repro.analysis import Aggregate
+from repro.experiments.campaigns import COMPARED_PROTOCOLS, Campaign, node_scenario
+from repro.experiments.scenario import run_scenario
+
+TABLE1_METRICS = (
+    ("delivery_ratio", "Delivery"),
+    ("mean_latency", "Latency (s)"),
+    ("network_load", "Net Load"),
+    ("rreq_load", "RREQ Load"),
+    ("rrep_init_per_rreq", "RREP Init"),
+    ("rrep_recv_per_rreq", "RREP Recv"),
+)
+
+
+def table1(num_flows, campaign=None, protocols=COMPARED_PROTOCOLS):
+    """Regenerate one flow-count block of Table 1.
+
+    Returns ``{protocol: {metric: Aggregate}}`` where each Aggregate pools
+    every (node count, pause time, trial) sample — exactly the paper's
+    "averaging over all pause times and both 50-node and 100-node
+    scenarios for a given number of flows".
+    """
+    campaign = campaign or Campaign()
+    results = {}
+    for protocol in protocols:
+        samples = {key: [] for key, _ in TABLE1_METRICS}
+        for num_nodes in (campaign.num_nodes_small, campaign.num_nodes_large):
+            for pause in campaign.pauses():
+                for trial in range(campaign.trials):
+                    config = node_scenario(
+                        num_nodes, num_flows, pause, campaign.duration,
+                        seed=1 + trial, protocol=protocol,
+                    )
+                    row = run_scenario(config).as_dict()
+                    for key, _ in TABLE1_METRICS:
+                        samples[key].append(row[key])
+        results[protocol] = {
+            key: Aggregate(values) for key, values in samples.items()
+        }
+    return results
+
+
+def format_table1(results, num_flows):
+    """Render a Table-1 block the way the paper prints it."""
+    lines = []
+    lines.append("Table 1 — {} flows (mean ± 95% CI)".format(num_flows))
+    header = "{:<10}".format("Protocol") + "".join(
+        "{:>18}".format(label) for _, label in TABLE1_METRICS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for protocol, metrics in results.items():
+        row = "{:<10}".format(protocol.upper())
+        for key, _ in TABLE1_METRICS:
+            agg = metrics[key]
+            row += "{:>18}".format("{:.3f} ± {:.3f}".format(agg.mean, agg.ci))
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Measurement: counters during the run, summaries afterwards.
+
+:class:`~repro.metrics.collector.MetricsCollector` receives events from the
+MAC, the routing protocols and the application layer;
+:mod:`repro.metrics.report` turns one collector into the six metrics the
+paper reports (Section 4): delivery ratio, data latency, network load,
+RREQ load, RREP-init and RREP-recv per RREQ.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import RunReport
+
+__all__ = ["MetricsCollector", "RunReport"]

@@ -1,0 +1,18 @@
+"""Node mobility models.
+
+Positions are *analytic*: ``position(node_id, t)`` interpolates along the
+node's current leg, so the channel can query exact positions at packet
+times without per-tick updates.
+
+* :class:`~repro.mobility.static.StaticPlacement` — fixed positions for
+  unit tests and wired-style topologies.
+* :class:`~repro.mobility.random_waypoint.RandomWaypoint` — the model used
+  in the paper's evaluation: pick a destination uniformly in the terrain,
+  move at a uniform speed in [min, max] m/s, pause, repeat.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.static import StaticPlacement
+
+__all__ = ["MobilityModel", "RandomWaypoint", "StaticPlacement"]

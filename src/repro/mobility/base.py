@@ -1,0 +1,13 @@
+"""Mobility model interface."""
+
+
+class MobilityModel:
+    """Maps ``(node_id, time)`` to a position in metres."""
+
+    def position(self, node_id, t):
+        """Return the node's ``(x, y)`` at simulation time ``t``."""
+        raise NotImplementedError
+
+    def node_ids(self):
+        """The node ids this model knows about."""
+        raise NotImplementedError

@@ -1,0 +1,104 @@
+"""Random waypoint mobility (the paper's model).
+
+Each node repeats: pick a uniform destination in the terrain, move there in
+a straight line at a uniform random speed in ``[min_speed, max_speed]``,
+pause for ``pause_time`` seconds.  The paper sweeps ``pause_time`` from 0
+(constant motion) to the run length (static network) — that sweep is the
+x-axis of Figures 2–5.
+
+The trajectory for the whole run is *pre-generated* per node from the
+mobility RNG stream, making ``position(node, t)`` a pure function.  That
+keeps mobility identical across protocols for a given seed, which the
+paper's methodology requires.
+"""
+
+import bisect
+
+from repro.mobility.base import MobilityModel
+
+
+class _Leg:
+    """One segment of a trajectory: motion then pause."""
+
+    __slots__ = ("start_time", "end_time", "x0", "y0", "x1", "y1", "move_duration")
+
+    def __init__(self, start_time, x0, y0, x1, y1, speed, pause):
+        self.start_time = start_time
+        self.x0, self.y0 = x0, y0
+        self.x1, self.y1 = x1, y1
+        dx, dy = x1 - x0, y1 - y0
+        distance = (dx * dx + dy * dy) ** 0.5
+        self.move_duration = distance / speed if speed > 0 else 0.0
+        self.end_time = start_time + self.move_duration + pause
+
+    def position(self, t):
+        if self.move_duration <= 0:
+            return self.x1, self.y1
+        frac = (t - self.start_time) / self.move_duration
+        if frac >= 1.0:
+            return self.x1, self.y1
+        return (
+            self.x0 + (self.x1 - self.x0) * frac,
+            self.y0 + (self.y1 - self.y0) * frac,
+        )
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint over a rectangular terrain."""
+
+    def __init__(
+        self,
+        num_nodes,
+        width,
+        height,
+        min_speed=1.0,
+        max_speed=20.0,
+        pause_time=0.0,
+        duration=900.0,
+        rng=None,
+    ):
+        if rng is None:
+            import random
+
+            rng = random.Random(0)
+        self.num_nodes = num_nodes
+        self.width = float(width)
+        self.height = float(height)
+        self.duration = float(duration)
+        self._legs = {}
+        self._leg_starts = {}
+        for node_id in range(num_nodes):
+            legs = self._generate(node_id, rng, min_speed, max_speed, pause_time)
+            self._legs[node_id] = legs
+            self._leg_starts[node_id] = [leg.start_time for leg in legs]
+
+    def _generate(self, node_id, rng, min_speed, max_speed, pause_time):
+        x = rng.uniform(0, self.width)
+        y = rng.uniform(0, self.height)
+        legs = []
+        t = 0.0
+        # Initial pause models nodes starting at rest, as GloMoSim does when
+        # pause_time > 0; with pause 0 the node starts moving immediately.
+        if pause_time > 0:
+            legs.append(_Leg(t, x, y, x, y, 0.0, pause_time))
+            t = legs[-1].end_time
+        while t < self.duration:
+            nx = rng.uniform(0, self.width)
+            ny = rng.uniform(0, self.height)
+            speed = rng.uniform(min_speed, max_speed)
+            leg = _Leg(t, x, y, nx, ny, speed, pause_time)
+            legs.append(leg)
+            x, y = nx, ny
+            t = leg.end_time
+        return legs
+
+    def position(self, node_id, t):
+        legs = self._legs[node_id]
+        starts = self._leg_starts[node_id]
+        index = bisect.bisect_right(starts, t) - 1
+        if index < 0:
+            index = 0
+        return legs[index].position(t)
+
+    def node_ids(self):
+        return list(range(self.num_nodes))

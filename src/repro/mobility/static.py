@@ -1,0 +1,53 @@
+"""Fixed node placement.
+
+Used by unit tests (line/grid/star topologies) and by the Figure-1
+walkthrough, where the paper's example network is effectively wired.
+"""
+
+from repro.mobility.base import MobilityModel
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes stay where you put them.
+
+    ``positions`` maps node id to ``(x, y)``.  Convenience constructors
+    build the topologies the test-suite leans on.
+    """
+
+    def __init__(self, positions):
+        self.positions = dict(positions)
+
+    def position(self, node_id, t):
+        return self.positions[node_id]
+
+    def node_ids(self):
+        return list(self.positions)
+
+    def move(self, node_id, x, y):
+        """Teleport a node (tests use this to break/create links)."""
+        self.positions[node_id] = (x, y)
+
+    @classmethod
+    def line(cls, count, spacing=200.0):
+        """Nodes 0..count-1 on a horizontal line, ``spacing`` metres apart."""
+        return cls({i: (i * spacing, 0.0) for i in range(count)})
+
+    @classmethod
+    def grid(cls, rows, cols, spacing=200.0):
+        """A rows×cols grid; node id is ``r * cols + c``."""
+        positions = {}
+        for r in range(rows):
+            for c in range(cols):
+                positions[r * cols + c] = (c * spacing, r * spacing)
+        return cls(positions)
+
+    @classmethod
+    def star(cls, leaves, radius=200.0):
+        """Node 0 at the centre, ``leaves`` nodes on a circle around it."""
+        import math
+
+        positions = {0: (0.0, 0.0)}
+        for i in range(leaves):
+            angle = 2 * math.pi * i / leaves
+            positions[i + 1] = (radius * math.cos(angle), radius * math.sin(angle))
+        return cls(positions)

@@ -1,0 +1,173 @@
+"""The wireless medium.
+
+A unit-disk propagation model: a transmission is heard by every node within
+``transmission_range`` metres of the sender at the moment transmission
+starts.  Reception fails when
+
+* the receiver is itself transmitting during the frame (half duplex), or
+* another frame overlaps the reception at that receiver (collision — both
+  frames are corrupted, the standard no-capture model).
+
+Carrier is signalled to all nodes in range so their MACs defer (CSMA).
+
+Positions come from the mobility model; a transmission uses the positions
+at its start time.  This matches the granularity of packet-level simulators
+such as GloMoSim: links do not flip mid-frame.
+"""
+
+PROPAGATION_DELAY = 1e-6  # seconds; ~300 m at light speed, kept constant
+
+
+class Reception:
+    """Book-keeping for one frame arriving at one receiver."""
+
+    __slots__ = ("frame", "start", "end", "corrupted")
+
+    def __init__(self, frame, start, end, corrupted=False):
+        self.frame = frame
+        self.start = start
+        self.end = end
+        self.corrupted = corrupted
+
+
+class WirelessChannel:
+    """Connects node MACs through the shared medium."""
+
+    def __init__(self, sim, mobility, transmission_range=275.0,
+                 gray_zone=0.0):
+        self.sim = sim
+        self.mobility = mobility
+        self.range = float(transmission_range)
+        # Fraction of the range that is a lossy "gray zone": a reception
+        # whose distance falls in the outer ``gray_zone`` band fails with
+        # probability growing linearly to 50% at the edge.  0 = the
+        # paper's crisp unit disk (default).
+        self.gray_zone = float(gray_zone)
+        self._gray_rng = sim.stream("channel.gray")
+        self.nodes = {}
+        # receiver id -> list of in-flight Reception records
+        self._receptions = {}
+        # Observers called as fn(sender_id, frame, receiver_ids) on each
+        # transmission; used by metrics and by tests.
+        self.observers = []
+
+    def attach(self, node):
+        """Register a node; called by :class:`~repro.net.node.Node`."""
+        self.nodes[node.node_id] = node
+        self._receptions[node.node_id] = []
+
+    def neighbors_of(self, node_id, at_time=None):
+        """Node ids within transmission range of ``node_id`` right now."""
+        t = self.sim.now if at_time is None else at_time
+        x, y = self.mobility.position(node_id, t)
+        limit = self.range * self.range
+        result = []
+        for other_id in self.nodes:
+            if other_id == node_id:
+                continue
+            ox, oy = self.mobility.position(other_id, t)
+            dx, dy = ox - x, oy - y
+            if dx * dx + dy * dy <= limit:
+                result.append(other_id)
+        return result
+
+    def in_range(self, a, b, at_time=None):
+        """True when nodes ``a`` and ``b`` can currently hear each other."""
+        t = self.sim.now if at_time is None else at_time
+        ax, ay = self.mobility.position(a, t)
+        bx, by = self.mobility.position(b, t)
+        dx, dy = ax - bx, ay - by
+        return dx * dx + dy * dy <= self.range * self.range
+
+    def transmit(self, frame, duration):
+        """Put ``frame`` on the air for ``duration`` seconds.
+
+        Returns the list of receiver ids the frame was launched toward
+        (successful decoding is decided when each reception completes).
+        For unicast frames the sender's MAC is told the outcome via
+        ``on_tx_outcome(frame, success)`` once the frame (plus an
+        abstracted ACK turnaround) completes.
+        """
+        now = self.sim.now
+        end = now + duration
+        sender_id = frame.sender
+        receiver_ids = self.neighbors_of(sender_id)
+
+        for obs in self.observers:
+            obs(sender_id, frame, receiver_ids)
+
+        unicast_result = {"decoded": False}
+        if not frame.is_broadcast and frame.link_dst in self.nodes:
+            # Virtual RTS/CTS: 802.11 protects unicast exchanges against
+            # hidden terminals by having the receiver's neighborhood defer
+            # (the CTS).  Model that by NAV-ing the destination's neighbors
+            # for the exchange, even those the sender cannot reach.
+            for nid in self.neighbors_of(frame.link_dst):
+                if nid != sender_id:
+                    self.nodes[nid].mac.set_nav(end)
+        for rid in receiver_ids:
+            receiver = self.nodes[rid]
+            # CSMA: everyone in range defers until the frame ends.
+            receiver.mac.set_nav(end)
+
+            corrupted = receiver.mac.is_transmitting()
+            if not corrupted and self.gray_zone > 0.0:
+                corrupted = self._gray_zone_loss(sender_id, rid, now)
+            ongoing = self._receptions[rid]
+            for other in ongoing:
+                if other.end > now:  # overlap -> mutual corruption
+                    other.corrupted = True
+                    corrupted = True
+            rec = Reception(frame, now, end, corrupted)
+            ongoing.append(rec)
+            self.sim.schedule(
+                duration + PROPAGATION_DELAY, self._complete, rid, rec, unicast_result
+            )
+
+        if not frame.is_broadcast:
+            # Abstracted ACK: the sender learns the outcome shortly after the
+            # frame ends.  If the destination was out of range it never
+            # decodes, so 'decoded' stays False.
+            sender = self.nodes[sender_id]
+            self.sim.schedule(
+                duration + 2 * PROPAGATION_DELAY,
+                self._report_unicast,
+                sender,
+                frame,
+                unicast_result,
+            )
+        return receiver_ids
+
+    def _gray_zone_loss(self, a, b, t):
+        """Random loss in the outer band of the transmission range."""
+        ax, ay = self.mobility.position(a, t)
+        bx, by = self.mobility.position(b, t)
+        distance = ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+        inner = self.range * (1.0 - self.gray_zone)
+        if distance <= inner:
+            return False
+        frac = (distance - inner) / max(self.range - inner, 1e-9)
+        return self._gray_rng.random() < 0.5 * frac
+
+    def _complete(self, receiver_id, rec, unicast_result):
+        receptions = self._receptions[receiver_id]
+        try:
+            receptions.remove(rec)
+        except ValueError:
+            pass
+        if rec.corrupted:
+            return
+        frame = rec.frame
+        receiver = self.nodes[receiver_id]
+        if frame.is_broadcast or frame.link_dst == receiver_id:
+            if frame.link_dst == receiver_id:
+                unicast_result["decoded"] = True
+            receiver.mac.handle_frame(frame)
+        elif receiver.mac.promiscuous_fn is not None:
+            # Frames addressed to others reach promiscuous listeners
+            # (DSR-style snooping: route shortening, cache learning).
+            receiver.mac.promiscuous_fn(frame.packet, frame.sender,
+                                        frame.link_dst)
+
+    def _report_unicast(self, sender, frame, unicast_result):
+        sender.mac.on_tx_outcome(frame, unicast_result["decoded"])

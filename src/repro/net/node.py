@@ -1,0 +1,66 @@
+"""A network node: MAC + routing protocol + application hooks."""
+
+from repro.net.mac import CsmaMac
+from repro.net.packet import DataPacket
+
+#: Link-layer broadcast "address" used in protocol code for readability.
+BROADCAST = None
+
+
+class Node:
+    """One mobile host.
+
+    Wiring: the application calls :meth:`send_data`; the routing protocol
+    decides next hops and uses ``self.mac``; decoded frames flow back
+    through the routing protocol, which calls :meth:`deliver` for packets
+    addressed to this node.
+    """
+
+    def __init__(self, sim, node_id, channel, mac_config=None, metrics=None):
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        self.metrics = metrics
+        self.mac = CsmaMac(sim, node_id, channel, mac_config, metrics)
+        self.routing = None
+        self.deliver_fn = None  # set by the application layer
+        channel.attach(self)
+
+    def install_routing(self, protocol):
+        """Attach a routing protocol instance and wire MAC callbacks."""
+        self.routing = protocol
+        self.mac.receive_fn = protocol.on_packet
+
+    def start(self):
+        """Begin protocol operation (proactive protocols start beaconing)."""
+        if self.routing is not None:
+            self.routing.start()
+
+    def send_data(self, dst, size_bytes=512, flow_id=0, seq=0):
+        """Application entry point: create and route a data packet."""
+        packet = DataPacket(
+            src=self.node_id,
+            dst=dst,
+            size_bytes=size_bytes,
+            flow_id=flow_id,
+            seq=seq,
+            created_at=self.sim.now,
+        )
+        if self.metrics is not None:
+            self.metrics.on_data_originated(self.node_id, packet)
+        self.routing.send_data(packet)
+        return packet
+
+    def deliver(self, packet):
+        """Called by the routing layer for packets addressed to this node."""
+        if self.metrics is not None:
+            self.metrics.on_data_delivered(self.node_id, packet)
+        if self.deliver_fn is not None:
+            self.deliver_fn(packet)
+
+    def position(self):
+        """Current (x, y) in metres."""
+        return self.channel.mobility.position(self.node_id, self.sim.now)
+
+    def __repr__(self):
+        return "Node({})".format(self.node_id)

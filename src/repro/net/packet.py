@@ -1,0 +1,83 @@
+"""Packets and frames.
+
+A :class:`Packet` is what protocols and applications exchange; a
+:class:`Frame` is a packet plus link-layer addressing, created by the MAC
+for one transmission attempt.  Control packets (RREQ, RREP, HELLO, ...) are
+protocol-specific subclasses of :class:`Packet` with ``is_control = True``;
+the metrics layer uses that flag to separate signalling from data.
+"""
+
+import itertools
+
+_packet_uids = itertools.count(1)
+
+
+class Packet:
+    """Base class for everything that crosses the air.
+
+    ``size_bytes`` drives transmission duration; subclasses either set a
+    class attribute or compute it per instance.  ``uid`` identifies the
+    packet end-to-end (it survives relaying when protocols forward the same
+    object, and is copied when they re-materialize headers).
+    """
+
+    is_control = True
+    kind = "packet"
+    size_bytes = 64
+
+    def __init__(self):
+        self.uid = next(_packet_uids)
+
+    def __repr__(self):
+        return "{}(uid={})".format(type(self).__name__, self.uid)
+
+
+class DataPacket(Packet):
+    """An application payload travelling from ``src`` to ``dst``.
+
+    The routing layer annotates hop counts; the traffic layer stamps
+    ``created_at`` so the metrics collector can compute end-to-end latency.
+    """
+
+    is_control = False
+    kind = "data"
+
+    def __init__(self, src, dst, size_bytes, flow_id, seq, created_at):
+        super().__init__()
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.flow_id = flow_id
+        self.seq = seq
+        self.created_at = created_at
+        self.hops = 0
+        # DSR stores its source route here; other protocols leave it None.
+        self.source_route = None
+
+    def __repr__(self):
+        return "DataPacket(flow={}, seq={}, {}->{})".format(
+            self.flow_id, self.seq, self.src, self.dst
+        )
+
+
+class Frame:
+    """One link-layer transmission attempt of a packet.
+
+    ``link_dst`` is the next-hop node id, or ``None`` for broadcast.
+    """
+
+    __slots__ = ("packet", "sender", "link_dst", "uid")
+
+    def __init__(self, packet, sender, link_dst):
+        self.packet = packet
+        self.sender = sender
+        self.link_dst = link_dst
+        self.uid = next(_packet_uids)
+
+    @property
+    def is_broadcast(self):
+        return self.link_dst is None
+
+    def __repr__(self):
+        dst = "bcast" if self.is_broadcast else self.link_dst
+        return "Frame({} {}->{})".format(self.packet, self.sender, dst)

@@ -1,0 +1,39 @@
+"""Baseline protocols the paper compares LDR against (Section 4).
+
+* :mod:`repro.protocols.aodv` — Ad hoc On-demand Distance Vector routing
+  (IETF draft 10 semantics): per-destination sequence numbers that *any*
+  node may increment on route breaks — the behaviour LDR removes.
+* :mod:`repro.protocols.dsr` — Dynamic Source Routing: route caches and
+  source routes in data packets.
+* :mod:`repro.protocols.olsr` — Optimized Link State Routing: proactive
+  HELLO/TC with multipoint relays, including the paper's FIFO jitter-queue
+  fix to the INRIA implementation.
+"""
+
+from repro.protocols.aodv import AodvConfig, AodvProtocol
+from repro.protocols.dsr import DsrConfig, DsrProtocol
+from repro.protocols.dual import DualConfig, DualProtocol
+from repro.protocols.nsr import NsrConfig, NsrProtocol
+from repro.protocols.olsr import OlsrConfig, OlsrProtocol
+from repro.protocols.oracle import OracleConfig, OracleProtocol
+from repro.protocols.roam import RoamConfig, RoamProtocol
+from repro.protocols.tora import ToraConfig, ToraProtocol
+
+__all__ = [
+    "AodvConfig",
+    "AodvProtocol",
+    "DsrConfig",
+    "DsrProtocol",
+    "DualConfig",
+    "DualProtocol",
+    "NsrConfig",
+    "NsrProtocol",
+    "OlsrConfig",
+    "OlsrProtocol",
+    "OracleConfig",
+    "OracleProtocol",
+    "RoamConfig",
+    "RoamProtocol",
+    "ToraConfig",
+    "ToraProtocol",
+]

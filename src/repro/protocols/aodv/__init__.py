@@ -1,0 +1,12 @@
+"""AODV — Ad hoc On-demand Distance Vector routing (baseline).
+
+Follows the draft-10 semantics the paper simulated: destination sequence
+numbers establish the ordering invariant; a node whose route breaks
+increments its *stored* sequence number for the destination, which inhibits
+replies from downstream nodes holding the prior number — the limitation
+LDR's feasible-distance invariant removes (paper, Section 1).
+"""
+
+from repro.protocols.aodv.protocol import AodvConfig, AodvProtocol
+
+__all__ = ["AodvConfig", "AodvProtocol"]

@@ -1,0 +1,96 @@
+"""AODV control messages (RFC 3561 / draft-10 field layout)."""
+
+from repro.net.packet import Packet
+
+
+class AodvRreq(Packet):
+    """Route request flooded by reverse-path flooding.
+
+    ``dst_seq`` is the *last known* destination sequence number at the
+    originator; ``unknown_seq`` is the U flag when no number is known.
+    """
+
+    kind = "rreq"
+    size_bytes = 24
+
+    def __init__(self, src, src_seq, rreq_id, dst, dst_seq, unknown_seq,
+                 hop_count=0, ttl=1):
+        super().__init__()
+        self.src = src
+        self.src_seq = src_seq
+        self.rreq_id = rreq_id
+        self.dst = dst
+        self.dst_seq = dst_seq
+        self.unknown_seq = unknown_seq
+        self.hop_count = hop_count
+        self.ttl = ttl
+
+    def copy(self):
+        return AodvRreq(self.src, self.src_seq, self.rreq_id, self.dst,
+                        self.dst_seq, self.unknown_seq,
+                        hop_count=self.hop_count, ttl=self.ttl)
+
+    def __repr__(self):
+        return "AodvRreq(src={}, dst={}, id={}, dseq={}, hops={})".format(
+            self.src, self.dst, self.rreq_id, self.dst_seq, self.hop_count
+        )
+
+
+class AodvRrep(Packet):
+    """Route reply unicast hop-by-hop along the reverse route to ``src``."""
+
+    kind = "rrep"
+    size_bytes = 20
+
+    def __init__(self, src, dst, dst_seq, hop_count, lifetime):
+        super().__init__()
+        self.src = src          # the RREQ originator (reply terminus)
+        self.dst = dst          # destination being advertised
+        self.dst_seq = dst_seq
+        self.hop_count = hop_count
+        self.lifetime = lifetime
+
+    def copy(self):
+        return AodvRrep(self.src, self.dst, self.dst_seq, self.hop_count,
+                        self.lifetime)
+
+    def __repr__(self):
+        return "AodvRrep(dst={}, seq={}, hops={}, to={})".format(
+            self.dst, self.dst_seq, self.hop_count, self.src
+        )
+
+
+class AodvRerr(Packet):
+    """Route error: (destination, incremented sequence number) pairs."""
+
+    kind = "rerr"
+
+    def __init__(self, unreachable):
+        super().__init__()
+        self.unreachable = list(unreachable)
+        self.size_bytes = 12 + 8 * len(self.unreachable)
+
+    def copy(self):
+        return AodvRerr(self.unreachable)
+
+    def __repr__(self):
+        return "AodvRerr({})".format([d for d, _ in self.unreachable])
+
+
+class AodvHello(Packet):
+    """Periodic beacon used when hello-based link sensing is enabled.
+
+    RFC 3561 encodes hellos as zero-TTL RREPs; a dedicated class keeps the
+    dispatch simple while counting identically ("hello" control kind).
+    """
+
+    kind = "hello"
+    size_bytes = 20
+
+    def __init__(self, origin, seq):
+        super().__init__()
+        self.origin = origin
+        self.seq = seq
+
+    def __repr__(self):
+        return "AodvHello({})".format(self.origin)

@@ -1,0 +1,12 @@
+"""DSR — Dynamic Source Routing (baseline).
+
+Source routes recorded by route requests, cached at origin and relays, and
+carried in every data packet's header (paper, Section 1).  The cache has no
+freshness signal, which is why DSR's delivery ratio collapses under
+mobility in the paper's Figures 2–6 — stale cached routes keep being
+handed out.
+"""
+
+from repro.protocols.dsr.protocol import DsrConfig, DsrProtocol
+
+__all__ = ["DsrConfig", "DsrProtocol"]

@@ -1,0 +1,75 @@
+"""DSR route cache.
+
+A path cache: complete routes ``[src, ..., dst]`` indexed by destination.
+Lookups return the shortest cached route; link removal (route maintenance)
+prunes every cached path using the broken link.  Entries carry a generous
+timeout — staleness under mobility is a *property* of DSR the paper
+measures, not a bug to engineer away.
+"""
+
+
+class RouteCache:
+    """Per-node cache of source routes."""
+
+    def __init__(self, sim, owner, max_routes_per_dst=4, lifetime=300.0):
+        self.sim = sim
+        self.owner = owner
+        self.max_routes_per_dst = max_routes_per_dst
+        self.lifetime = lifetime
+        self._routes = {}  # dst -> list of (expiry, [owner..dst])
+
+    def add(self, route):
+        """Cache ``route`` (must start at the owner) and its prefixes."""
+        if not route or route[0] != self.owner or len(route) < 2:
+            return
+        # Every prefix of a known route is itself a route.
+        for end in range(2, len(route) + 1):
+            self._add_one(route[:end])
+
+    def _add_one(self, route):
+        dst = route[-1]
+        entries = self._routes.setdefault(dst, [])
+        now = self.sim.now
+        entries[:] = [(exp, r) for (exp, r) in entries if exp > now and r != route]
+        entries.append((now + self.lifetime, route))
+        entries.sort(key=lambda item: len(item[1]))
+        del entries[self.max_routes_per_dst:]
+
+    def lookup(self, dst):
+        """Shortest unexpired cached route to ``dst`` or None."""
+        entries = self._routes.get(dst)
+        if not entries:
+            return None
+        now = self.sim.now
+        for expiry, route in entries:
+            if expiry > now:
+                return list(route)
+        return None
+
+    def remove_link(self, a, b):
+        """Drop every cached route using link a->b (or b->a: symmetric)."""
+        removed = 0
+        for dst, entries in self._routes.items():
+            kept = []
+            for expiry, route in entries:
+                if self._uses_link(route, a, b):
+                    removed += 1
+                else:
+                    kept.append((expiry, route))
+            entries[:] = kept
+        return removed
+
+    @staticmethod
+    def _uses_link(route, a, b):
+        for i in range(len(route) - 1):
+            pair = (route[i], route[i + 1])
+            if pair == (a, b) or pair == (b, a):
+                return True
+        return False
+
+    def __len__(self):
+        now = self.sim.now
+        return sum(
+            1 for entries in self._routes.values()
+            for (expiry, _) in entries if expiry > now
+        )

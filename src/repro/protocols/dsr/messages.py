@@ -1,0 +1,72 @@
+"""DSR control messages."""
+
+from repro.net.packet import Packet
+
+
+class DsrRreq(Packet):
+    """Route request accumulating the traversed path in ``route``."""
+
+    kind = "rreq"
+
+    def __init__(self, src, rreq_id, target, route, ttl=255):
+        super().__init__()
+        self.src = src
+        self.rreq_id = rreq_id
+        self.target = target
+        self.route = list(route)  # starts [src], grows hop by hop
+        self.ttl = ttl
+        self.size_bytes = 16 + 4 * len(self.route)
+
+    def copy(self):
+        return DsrRreq(self.src, self.rreq_id, self.target, self.route, self.ttl)
+
+    def __repr__(self):
+        return "DsrRreq(src={}, target={}, id={}, route={})".format(
+            self.src, self.target, self.rreq_id, self.route
+        )
+
+
+class DsrRrep(Packet):
+    """Route reply carrying the complete source route ``route``.
+
+    Travels back to ``route[0]`` by source-routing along the reversed
+    prefix (symmetric links assumed, as in the paper's Section 2 setting).
+    """
+
+    kind = "rrep"
+
+    def __init__(self, route, reply_path):
+        super().__init__()
+        self.route = list(route)        # full src..dst route discovered
+        self.reply_path = list(reply_path)  # remaining hops back to origin
+        self.size_bytes = 16 + 4 * (len(self.route) + len(self.reply_path))
+
+    def copy(self):
+        return DsrRrep(self.route, self.reply_path)
+
+    def __repr__(self):
+        return "DsrRrep(route={})".format(self.route)
+
+
+class DsrRerr(Packet):
+    """Route error: link ``from_node -> to_node`` is broken.
+
+    Source-routed back toward the data packet's originator along
+    ``reply_path``; every node on the way removes the link from its cache.
+    """
+
+    kind = "rerr"
+    size_bytes = 20
+
+    def __init__(self, from_node, to_node, reply_path):
+        super().__init__()
+        self.from_node = from_node
+        self.to_node = to_node
+        self.reply_path = list(reply_path)
+        self.size_bytes = 20 + 4 * len(self.reply_path)
+
+    def copy(self):
+        return DsrRerr(self.from_node, self.to_node, self.reply_path)
+
+    def __repr__(self):
+        return "DsrRerr({}->{})".format(self.from_node, self.to_node)

@@ -1,0 +1,21 @@
+"""DUAL — the Diffusing Update Algorithm (Garcia-Luna-Aceves, 1993).
+
+The paper's Section 1 positions LDR against DUAL: DUAL attains loop
+freedom *pro-actively* through a feasibility condition (SNC — a successor
+is safe when its advertised distance is below the node's feasible
+distance) plus **diffusing computations** — when no feasible successor
+exists, the node goes *active*, queries all neighbors, and may not change
+its route until every neighbor replies.  The coordination is reliable and
+can span large network segments, which is exactly the cost LDR eliminates
+(its destination-controlled sequence numbers replace the reset that the
+diffusing computation performs).
+
+This implementation exists as the intellectual substrate of the paper and
+as a comparison point: the ``dual`` protocol can be dropped into any
+scenario (see ``examples/coordination_cost.py``) to measure what
+proactive, coordinated loop freedom costs in a MANET.
+"""
+
+from repro.protocols.dual.protocol import DualConfig, DualProtocol
+
+__all__ = ["DualConfig", "DualProtocol"]

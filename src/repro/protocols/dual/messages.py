@@ -1,0 +1,73 @@
+"""DUAL control messages.
+
+All three carry distance vectors ``{destination: distance}``.  UPDATEs
+are fire-and-forget advertisements; QUERYs open a diffusing computation
+and *must* be answered; REPLYs close them.  DUAL assumes reliable neighbor
+communication — the MAC's unicast ARQ provides it, and an unanswerable
+neighbor is handled by the neighbor-loss path.
+"""
+
+from repro.net.packet import Packet
+
+
+class DualHello(Packet):
+    """Neighbor sensing beacon."""
+
+    kind = "hello"
+    size_bytes = 8
+
+    def __init__(self, origin):
+        super().__init__()
+        self.origin = origin
+
+    def __repr__(self):
+        return "DualHello({})".format(self.origin)
+
+
+class DualUpdate(Packet):
+    """Distance advertisement: ``entries`` maps destination -> distance."""
+
+    kind = "update"
+
+    def __init__(self, origin, entries):
+        super().__init__()
+        self.origin = origin
+        self.entries = dict(entries)
+        self.size_bytes = 8 + 8 * len(self.entries)
+
+    def __repr__(self):
+        return "DualUpdate({}, {} dests)".format(self.origin, len(self.entries))
+
+
+class DualQuery(Packet):
+    """Diffusing-computation query for one destination."""
+
+    kind = "query"
+    size_bytes = 16
+
+    def __init__(self, origin, dst, distance):
+        super().__init__()
+        self.origin = origin
+        self.dst = dst
+        self.distance = distance
+
+    def __repr__(self):
+        return "DualQuery({} asks about {}, d={})".format(
+            self.origin, self.dst, self.distance)
+
+
+class DualReply(Packet):
+    """Answer to a query: the sender's (possibly infinite) distance."""
+
+    kind = "reply"
+    size_bytes = 16
+
+    def __init__(self, origin, dst, distance):
+        super().__init__()
+        self.origin = origin
+        self.dst = dst
+        self.distance = distance
+
+    def __repr__(self):
+        return "DualReply({} -> d({})={})".format(
+            self.origin, self.dst, self.distance)

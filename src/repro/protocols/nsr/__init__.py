@@ -1,0 +1,16 @@
+"""NSR — Neighborhood-aware Source Routing (Spohn & GLA, 2001).
+
+The paper's Section 1: "NSR extends the source routing approach of DSR by
+having nodes communicate information regarding their two-hop neighborhood
+in route requests and route replies in addition to path information
+regarding specific in-use destinations."
+
+The two-hop maps let nodes *patch* a broken source route locally — if the
+next hop is gone but a neighbor of ours is known to neighbor the
+hop-after-next, the packet detours without a new discovery — and validate
+cached routes against fresher neighborhood knowledge before using them.
+"""
+
+from repro.protocols.nsr.protocol import NsrConfig, NsrProtocol
+
+__all__ = ["NsrConfig", "NsrProtocol"]

@@ -1,0 +1,55 @@
+"""OLSR control messages (draft-06 field content, packet-level)."""
+
+from repro.net.packet import Packet
+
+
+class OlsrHello(Packet):
+    """One-hop broadcast for link sensing and MPR signalling.
+
+    * ``sym_neighbors`` — neighbors we hold a symmetric link with;
+    * ``heard_neighbors`` — neighbors heard but not yet symmetric;
+    * ``mpr_set`` — the subset of symmetric neighbors we select as MPRs.
+    """
+
+    kind = "hello"
+
+    def __init__(self, origin, sym_neighbors, heard_neighbors, mpr_set):
+        super().__init__()
+        self.origin = origin
+        self.sym_neighbors = list(sym_neighbors)
+        self.heard_neighbors = list(heard_neighbors)
+        self.mpr_set = set(mpr_set)
+        self.size_bytes = 16 + 4 * (
+            len(self.sym_neighbors) + len(self.heard_neighbors)
+        )
+
+    def __repr__(self):
+        return "OlsrHello(origin={}, sym={}, mpr={})".format(
+            self.origin, self.sym_neighbors, sorted(self.mpr_set)
+        )
+
+
+class OlsrTc(Packet):
+    """Topology control: the originator's advertised (MPR-selector) set.
+
+    Flooded network-wide through the MPR forwarding rule.  ``ansn`` orders
+    advertisements from the same originator.
+    """
+
+    kind = "tc"
+
+    def __init__(self, origin, ansn, selectors, ttl=255):
+        super().__init__()
+        self.origin = origin
+        self.ansn = ansn
+        self.selectors = list(selectors)
+        self.ttl = ttl
+        self.size_bytes = 16 + 4 * len(self.selectors)
+
+    def copy(self):
+        return OlsrTc(self.origin, self.ansn, self.selectors, self.ttl)
+
+    def __repr__(self):
+        return "OlsrTc(origin={}, ansn={}, sel={})".format(
+            self.origin, self.ansn, self.selectors
+        )

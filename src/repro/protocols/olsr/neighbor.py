@@ -1,0 +1,130 @@
+"""OLSR neighbor bookkeeping and MPR selection."""
+
+
+class LinkRecord:
+    """State of the link to one neighbor."""
+
+    __slots__ = ("neighbor", "heard_until", "sym_until")
+
+    def __init__(self, neighbor):
+        self.neighbor = neighbor
+        self.heard_until = 0.0
+        self.sym_until = 0.0
+
+    def heard(self, now):
+        return now < self.heard_until
+
+    def symmetric(self, now):
+        return now < self.sym_until
+
+
+class NeighborState:
+    """Link set, two-hop neighborhood and MPR selection for one node."""
+
+    def __init__(self, owner):
+        self.owner = owner
+        self.links = {}  # neighbor -> LinkRecord
+        self.two_hop = {}  # neighbor -> (set of its sym neighbors, expiry)
+        self.mprs = set()
+        self.mpr_selectors = {}  # neighbor -> expiry
+
+    # ------------------------------------------------------------------
+    # updates from HELLOs
+    # ------------------------------------------------------------------
+    def on_hello(self, hello, now, hold_time):
+        """Process a HELLO; returns True when the neighborhood changed."""
+        origin = hello.origin
+        link = self.links.get(origin)
+        if link is None:
+            link = LinkRecord(origin)
+            self.links[origin] = link
+        was_sym = link.symmetric(now)
+        link.heard_until = now + hold_time
+        # Symmetry: the neighbor lists us among the nodes it hears.
+        if self.owner in hello.sym_neighbors or self.owner in hello.heard_neighbors:
+            link.sym_until = now + hold_time
+        self.two_hop[origin] = (
+            set(n for n in hello.sym_neighbors if n != self.owner),
+            now + hold_time,
+        )
+        if self.owner in hello.mpr_set:
+            self.mpr_selectors[origin] = now + hold_time
+        else:
+            self.mpr_selectors.pop(origin, None)
+        return was_sym != link.symmetric(now)
+
+    def expire(self, now):
+        """Drop timed-out links/selectors; returns True on any change."""
+        changed = False
+        for neighbor in list(self.links):
+            if not self.links[neighbor].heard(now):
+                del self.links[neighbor]
+                self.two_hop.pop(neighbor, None)
+                changed = True
+        for neighbor in list(self.mpr_selectors):
+            if self.mpr_selectors[neighbor] <= now:
+                del self.mpr_selectors[neighbor]
+        for neighbor in list(self.two_hop):
+            if self.two_hop[neighbor][1] <= now:
+                del self.two_hop[neighbor]
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def symmetric_neighbors(self, now):
+        return [n for n, l in self.links.items() if l.symmetric(now)]
+
+    def heard_only_neighbors(self, now):
+        return [
+            n for n, l in self.links.items()
+            if l.heard(now) and not l.symmetric(now)
+        ]
+
+    def selectors(self, now):
+        return [n for n, exp in self.mpr_selectors.items() if exp > now]
+
+    # ------------------------------------------------------------------
+    # MPR selection (greedy cover of the strict two-hop neighborhood)
+    # ------------------------------------------------------------------
+    def select_mprs(self, now):
+        """Recompute ``self.mprs``; returns the new set.
+
+        Standard heuristic: first take neighbors that are the *only* route
+        to some two-hop node, then greedily add the neighbor covering the
+        most still-uncovered two-hop nodes.
+        """
+        sym = set(self.symmetric_neighbors(now))
+        coverage = {}
+        for neighbor in sym:
+            two_hop, expiry = self.two_hop.get(neighbor, (set(), 0.0))
+            if expiry <= now:
+                continue
+            coverage[neighbor] = set(
+                n for n in two_hop if n not in sym and n != self.owner
+            )
+        uncovered = set()
+        for nodes in coverage.values():
+            uncovered |= nodes
+        mprs = set()
+        # Mandatory: sole providers.
+        for target in set(uncovered):
+            providers = [n for n, cov in coverage.items() if target in cov]
+            if len(providers) == 1:
+                mprs.add(providers[0])
+        for chosen in mprs:
+            uncovered -= coverage.get(chosen, set())
+        # Greedy: most coverage first (ties broken by id for determinism).
+        while uncovered:
+            best = max(
+                coverage,
+                key=lambda n: (len(coverage[n] & uncovered), -n),
+            )
+            gained = coverage[best] & uncovered
+            if not gained:
+                break
+            mprs.add(best)
+            uncovered -= gained
+        self.mprs = mprs
+        return mprs

@@ -1,0 +1,20 @@
+"""ROAM — Routing On-demand Acyclic Multipath (Raju & GLA, 1999).
+
+The paper's Section 1: "ROAM extends DUAL to provide loop-free routing on
+demand ... a node can change its next hop to a destination without
+notifying its neighbors as long as it has a neighbor with a distance
+shorter than the node's own feasible distance ... If such an invariant is
+not satisfied, the node must reliably send a route request to its
+neighbors, which serves the same purpose of DUAL's resets.  After sending
+a route request, the node cannot select a new next hop until it receives
+route replies from all its neighbors."
+
+ROAM is LDR's closest relative: same distance/feasible-distance invariant,
+but the *reset* is a reliable multi-hop diffusing search instead of a
+destination-controlled sequence-number increment.  Comparing the two on
+one workload isolates exactly what the paper's contribution buys.
+"""
+
+from repro.protocols.roam.protocol import RoamConfig, RoamProtocol
+
+__all__ = ["RoamConfig", "RoamProtocol"]

@@ -1,0 +1,18 @@
+"""TORA — the Temporally-Ordered Routing Algorithm (Park & Corson, 1997).
+
+Another of the paper's Section-1 reference points: TORA maintains a
+destination-oriented DAG with per-node *heights*; data flows downhill.
+Routes are created by a QRY/UPD exchange and maintained by **link
+reversal** — a node that loses its last downstream link picks a new
+*reference level* (a timestamp from the synchronized clock) higher than
+its neighbors', which reverses the adjacent links and propagates until the
+DAG is restored.  Like ROAM, it "requires reliable exchanges among
+neighbors and coordination among nodes over multiple hops" — the overhead
+class LDR is designed to avoid.
+
+The simulator's global clock plays the role of TORA's synchronized clocks.
+"""
+
+from repro.protocols.tora.protocol import ToraConfig, ToraProtocol
+
+__all__ = ["ToraConfig", "ToraProtocol"]

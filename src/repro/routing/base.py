@@ -1,0 +1,132 @@
+"""Base routing-protocol API and route-discovery packet buffering."""
+
+from collections import defaultdict, deque
+
+
+class RoutingProtocol:
+    """Interface between a node's MAC and a routing implementation.
+
+    Subclasses implement :meth:`send_data` (route or buffer + discover) and
+    :meth:`on_packet` (dispatch on control-packet type).  The helpers here
+    standardize transmission accounting so the paper's "initiated" vs
+    "transmitted" metric distinction is applied uniformly.
+    """
+
+    name = "base"
+
+    def __init__(self, sim, node, metrics=None):
+        self.sim = sim
+        self.node = node
+        self.node_id = node.node_id
+        self.mac = node.mac
+        self.metrics = metrics
+        self._proto_rng = sim.stream("proto.%d" % node.node_id)
+        # Optional observer: fn(protocol, destination) after any routing
+        # table change.  The loop checker plugs in here.
+        self.table_change_hook = None
+
+    # ------------------------------------------------------------------
+    # lifecycle / data path (subclasses implement)
+    # ------------------------------------------------------------------
+    def start(self):
+        """Called once when the simulation starts."""
+
+    def send_data(self, packet):
+        raise NotImplementedError
+
+    def on_packet(self, packet, from_id):
+        raise NotImplementedError
+
+    def successor(self, dst):
+        """Current next hop toward ``dst`` or None (for the loop checker)."""
+        return None
+
+    def route_metric(self, dst):
+        """(seqno, feasible_distance, distance) triple for invariant audits.
+
+        Protocols without those notions return ``None``; the loop checker
+        then only verifies acyclicity, not the LDR ordering criterion.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def broadcast(self, packet, initiated=False, jitter=0.0):
+        """One-hop broadcast; ``initiated=True`` counts the origination.
+
+        ``jitter`` desynchronizes *relayed* floods: neighbors that all
+        received the same RREQ would otherwise rebroadcast within
+        microseconds of each other and collide (the classic broadcast-storm
+        problem every deployed on-demand implementation jitters around).
+        """
+        if initiated and self.metrics is not None:
+            self.metrics.on_control_initiated(self.node_id, packet)
+        if jitter > 0.0:
+            delay = self._proto_rng.uniform(0.0, jitter)
+            self.sim.schedule(delay, self.mac.send, packet, None)
+        else:
+            self.mac.send(packet, next_hop=None)
+
+    def unicast(self, packet, next_hop, on_fail=None, initiated=False):
+        """Unicast with link-failure feedback (defaults to on_link_failure)."""
+        if initiated and self.metrics is not None:
+            self.metrics.on_control_initiated(self.node_id, packet)
+        if on_fail is None:
+            on_fail = self.on_link_failure
+        self.mac.send(packet, next_hop=next_hop, on_fail=on_fail)
+
+    def on_link_failure(self, packet, next_hop):
+        """MAC gave up delivering ``packet`` to ``next_hop``."""
+
+    def deliver_local(self, packet):
+        self.node.deliver(packet)
+
+    def drop_data(self, packet, reason):
+        if self.metrics is not None:
+            self.metrics.on_data_dropped(self.node_id, packet, reason)
+
+    def _notify_table_change(self, dst):
+        if self.table_change_hook is not None:
+            self.table_change_hook(self, dst)
+
+
+class PacketBuffer:
+    """Data packets parked per destination while discovery runs.
+
+    Mirrors the paper's Procedure 1: "A should queue the packet that
+    requires the route" and drop queued packets when the final discovery
+    attempt fails.  Entries also age out individually so stale data does
+    not burst onto a route discovered much later.
+    """
+
+    def __init__(self, sim, capacity_per_dst=64, max_age=30.0):
+        self.sim = sim
+        self.capacity = capacity_per_dst
+        self.max_age = max_age
+        self._buffers = defaultdict(deque)
+
+    def push(self, dst, packet):
+        """Buffer ``packet`` for ``dst``; returns False when full (dropped)."""
+        buf = self._buffers[dst]
+        if len(buf) >= self.capacity:
+            return False
+        buf.append((self.sim.now, packet))
+        return True
+
+    def pop_all(self, dst):
+        """Remove and return the fresh packets waiting for ``dst``."""
+        buf = self._buffers.pop(dst, ())
+        cutoff = self.sim.now - self.max_age
+        return [pkt for (when, pkt) in buf if when >= cutoff]
+
+    def drop_all(self, dst):
+        """Discard everything waiting for ``dst`` (discovery failed)."""
+        buf = self._buffers.pop(dst, ())
+        return [pkt for (_, pkt) in buf]
+
+    def pending(self, dst):
+        return len(self._buffers.get(dst, ()))
+
+    def destinations(self):
+        return list(self._buffers)

@@ -1,0 +1,68 @@
+"""Link-cost models.
+
+The paper assumes positive symmetric link costs and notes that hop count
+is just the unit-cost special case ("If all link costs are 1, it is a hop
+count", Table 1).  LDR accepts any of these models through
+``LdrConfig(link_cost=...)``; the invariants (NDC/FDC/SDC) are agnostic to
+what the distances measure as long as costs stay positive and symmetric.
+"""
+
+
+class HopCost:
+    """Unit cost: distances are hop counts (the paper's default)."""
+
+    def __call__(self, a, b):
+        return 1
+
+    def __repr__(self):
+        return "HopCost()"
+
+
+class TableCost:
+    """Explicit symmetric per-link costs with a default.
+
+    ``costs`` maps frozenset-like pairs (tuples in either order are
+    accepted) to positive numbers.
+    """
+
+    def __init__(self, costs, default=1):
+        self._costs = {}
+        for (a, b), value in costs.items():
+            if value <= 0:
+                raise ValueError("link costs must be positive, got %r" % value)
+            self._costs[frozenset((a, b))] = value
+        self.default = default
+
+    def __call__(self, a, b):
+        return self._costs.get(frozenset((a, b)), self.default)
+
+    def __repr__(self):
+        return "TableCost({} links, default={})".format(
+            len(self._costs), self.default)
+
+
+class DistanceCost:
+    """Cost grows with physical distance (an ETX-flavoured model).
+
+    ``cost = 1 + round(extra * (d / range)**2)`` — adjacent nodes cost 1,
+    nodes near the edge of the transmission range cost up to
+    ``1 + extra``, reflecting the higher loss probability of long links.
+    """
+
+    def __init__(self, mobility, transmission_range=275.0, extra=3):
+        self.mobility = mobility
+        self.range = transmission_range
+        self.extra = extra
+        self._now_fn = None  # injected by the protocol (simulation time)
+
+    def bind_clock(self, now_fn):
+        self._now_fn = now_fn
+        return self
+
+    def __call__(self, a, b):
+        t = self._now_fn() if self._now_fn is not None else 0.0
+        ax, ay = self.mobility.position(a, t)
+        bx, by = self.mobility.position(b, t)
+        d2 = (ax - bx) ** 2 + (ay - by) ** 2
+        frac = min(1.0, d2 / (self.range * self.range))
+        return 1 + int(round(self.extra * frac))

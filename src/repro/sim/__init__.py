@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the GloMoSim/QualNet event engine used in the paper
+with a small, deterministic, heap-based scheduler:
+
+* :class:`~repro.sim.events.EventScheduler` — priority queue of timestamped
+  callbacks with stable FIFO ordering for simultaneous events.
+* :class:`~repro.sim.simulator.Simulator` — simulation clock, scheduler and
+  per-component random number streams in one object.
+* :class:`~repro.sim.timers.Timer` — restartable one-shot timer built on the
+  scheduler, used pervasively by the routing protocols.
+"""
+
+from repro.sim.events import Event, EventScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+from repro.sim.timers import Timer
+
+__all__ = ["Event", "EventScheduler", "RngStreams", "Simulator", "Timer"]

@@ -1,0 +1,125 @@
+"""Event scheduling primitives.
+
+The scheduler is a binary heap keyed on ``(time, sequence)``.  The sequence
+number breaks ties so that events scheduled for the same instant fire in the
+order they were scheduled (FIFO), which keeps simulations deterministic and
+makes protocol races reproducible across runs with the same seed.
+"""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`EventScheduler.schedule`; user code
+    holds on to them only to :meth:`cancel` them.  A cancelled event stays in
+    the heap but is skipped when popped (lazy deletion), which keeps
+    cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t={:.6f}, {}, {})".format(
+            self.time, getattr(self.callback, "__name__", self.callback), state
+        )
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    >>> sched = EventScheduler()
+    >>> fired = []
+    >>> _ = sched.schedule(1.0, fired.append, "a")
+    >>> _ = sched.schedule(0.5, fired.append, "b")
+    >>> sched.run(until=2.0)
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled.  Negative delays
+        are rejected: an event cannot fire in the past.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past (delay=%r)" % delay)
+        event = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def peek_time(self):
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self):
+        """Run the single next event.  Returns ``False`` when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run events in order until the heap drains or limits are hit.
+
+        ``until`` is an absolute simulation time; events at exactly ``until``
+        still fire.  ``max_events`` bounds the number of callbacks, guarding
+        against runaway event loops in tests.
+        """
+        count = 0
+        while self._heap:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if max_events is not None and count >= max_events:
+                break
+            self.step()
+            count += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def pending_count(self):
+        """Number of non-cancelled events still queued (O(n), for tests)."""
+        return sum(1 for e in self._heap if not e.cancelled)

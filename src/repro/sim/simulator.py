@@ -1,0 +1,40 @@
+"""The simulation façade: clock + scheduler + RNG streams.
+
+A :class:`Simulator` is passed to every component; it is the single source
+of time and randomness.  Network-level wiring (nodes, channel, traffic)
+lives in :mod:`repro.net` and :mod:`repro.experiments`, not here — the
+kernel stays protocol-agnostic.
+"""
+
+from repro.sim.events import EventScheduler
+from repro.sim.rng import RngStreams
+
+
+class Simulator:
+    """Owns the event loop and randomness for one simulation run."""
+
+    def __init__(self, seed=0):
+        self.scheduler = EventScheduler()
+        self.rng = RngStreams(seed)
+        self.seed = seed
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self.scheduler.now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        return self.scheduler.schedule(delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        return self.scheduler.schedule_at(time, callback, *args)
+
+    def run(self, until=None, max_events=None):
+        """Drive the event loop; see :meth:`EventScheduler.run`."""
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def stream(self, name):
+        """Named deterministic RNG stream (see :class:`RngStreams`)."""
+        return self.rng.stream(name)

@@ -1,0 +1,51 @@
+"""Restartable one-shot timers.
+
+Routing protocols are full of "do X unless cancelled within T seconds"
+logic: route lifetimes, RREQ retries, hello intervals, engagement caches.
+:class:`Timer` wraps the scheduler's cancel-and-reschedule dance so protocol
+code reads declaratively (``self.retry_timer.restart(2 * ttl * latency)``).
+"""
+
+
+class Timer:
+    """A one-shot timer bound to a simulator and a callback.
+
+    The callback receives no arguments; capture state in a closure or bound
+    method.  Restarting an armed timer cancels the previous expiry.
+    """
+
+    def __init__(self, sim, callback):
+        self._sim = sim
+        self._callback = callback
+        self._event = None
+
+    @property
+    def armed(self):
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self):
+        """Absolute expiry time, or ``None`` when idle."""
+        return self._event.time if self.armed else None
+
+    def start(self, delay):
+        """Arm the timer ``delay`` seconds from now (error if already armed)."""
+        if self.armed:
+            raise RuntimeError("timer already armed; use restart()")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay):
+        """Arm the timer, cancelling any pending expiry first."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self):
+        """Disarm; a no-op when idle."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self._callback()

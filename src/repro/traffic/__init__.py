@@ -1,0 +1,11 @@
+"""Traffic generation: the paper's CBR workload.
+
+512-byte packets at 4 packets/second per flow, flow lifetimes drawn from an
+exponential distribution with a 100-second mean; the generator keeps the
+configured number of flows alive by replacing each flow that ends
+(Section 4 of the paper).
+"""
+
+from repro.traffic.cbr import CbrFlow, TrafficGenerator
+
+__all__ = ["CbrFlow", "TrafficGenerator"]

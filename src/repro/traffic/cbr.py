@@ -1,0 +1,102 @@
+"""Constant-bit-rate flows over the routing layer."""
+
+
+class CbrFlow:
+    """One CBR conversation from ``src`` to ``dst``.
+
+    Sends ``packet_size``-byte packets every ``1/rate`` seconds from
+    ``start`` until ``end`` (or until stopped).
+    """
+
+    _next_flow_id = 0
+
+    def __init__(self, sim, nodes, src, dst, rate=4.0, packet_size=512,
+                 start=0.0, end=None):
+        self.sim = sim
+        self.nodes = nodes
+        self.src = src
+        self.dst = dst
+        self.rate = rate
+        self.packet_size = packet_size
+        self.start = start
+        self.end = end
+        self.flow_id = CbrFlow._next_flow_id
+        CbrFlow._next_flow_id += 1
+        self.sent = 0
+        self.stopped = False
+        self.on_finish = None
+        sim.schedule_at(max(start, sim.now), self._tick)
+
+    def stop(self):
+        self.stopped = True
+
+    @property
+    def active(self):
+        return not self.stopped and (self.end is None or self.sim.now < self.end)
+
+    def _tick(self):
+        if self.stopped:
+            return
+        if self.end is not None and self.sim.now >= self.end:
+            self.stopped = True
+            if self.on_finish is not None:
+                self.on_finish(self)
+            return
+        self.nodes[self.src].send_data(
+            self.dst, size_bytes=self.packet_size, flow_id=self.flow_id,
+            seq=self.sent,
+        )
+        self.sent += 1
+        self.sim.schedule(1.0 / self.rate, self._tick)
+
+
+class TrafficGenerator:
+    """Keeps ``num_flows`` CBR flows alive for the whole run.
+
+    Source/destination pairs are drawn uniformly (src != dst); when a flow's
+    exponential lifetime expires, a replacement flow with a fresh pair
+    starts immediately.  Flow starts are staggered over the first few
+    seconds so discovery storms don't all collide at t=0.
+    """
+
+    def __init__(self, sim, nodes, num_flows, rate=4.0, packet_size=512,
+                 mean_flow_length=100.0, duration=900.0, rng=None,
+                 warmup=5.0):
+        self.sim = sim
+        self.nodes = nodes
+        self.num_flows = num_flows
+        self.rate = rate
+        self.packet_size = packet_size
+        self.mean_flow_length = mean_flow_length
+        self.duration = duration
+        self.rng = rng if rng is not None else sim.stream("traffic")
+        self.flows = []
+        self.active_destinations = set()
+        for i in range(num_flows):
+            start = self.rng.uniform(0.0, warmup)
+            self._spawn(start)
+
+    def _spawn(self, start):
+        if start >= self.duration:
+            return
+        node_ids = list(self.nodes)
+        src = self.rng.choice(node_ids)
+        dst = self.rng.choice(node_ids)
+        while dst == src:
+            dst = self.rng.choice(node_ids)
+        length = self.rng.expovariate(1.0 / self.mean_flow_length)
+        end = min(start + max(length, 1.0), self.duration)
+        flow = CbrFlow(
+            self.sim, self.nodes, src, dst, rate=self.rate,
+            packet_size=self.packet_size, start=start, end=end,
+        )
+        flow.on_finish = self._on_finish
+        self.flows.append(flow)
+        self.active_destinations.add(dst)
+
+    def _on_finish(self, flow):
+        self._spawn(self.sim.now)
+
+    def destinations_used(self):
+        """Every node that was a CBR destination at some point in the run."""
+        return set(f.dst for f in self.flows)

@@ -1,0 +1,55 @@
+"""Unit tests for mean/CI helpers."""
+
+import math
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis import Aggregate, mean_confidence_interval
+
+
+def test_empty_values():
+    assert mean_confidence_interval([]) == (0.0, 0.0)
+
+
+def test_single_value_has_zero_ci():
+    mean, ci = mean_confidence_interval([3.5])
+    assert mean == 3.5
+    assert ci == 0.0
+
+
+def test_matches_scipy_reference():
+    values = [0.91, 0.95, 0.89, 0.94, 0.92]
+    mean, ci = mean_confidence_interval(values)
+    ref_mean = np.mean(values)
+    ref_sem = scipy_stats.sem(values)
+    ref_ci = ref_sem * scipy_stats.t.ppf(0.975, len(values) - 1)
+    assert math.isclose(mean, ref_mean, rel_tol=1e-12)
+    assert math.isclose(ci, ref_ci, rel_tol=1e-9)
+
+
+def test_constant_values_zero_ci():
+    mean, ci = mean_confidence_interval([2.0, 2.0, 2.0, 2.0])
+    assert mean == 2.0
+    assert ci == 0.0
+
+
+def test_wider_confidence_wider_interval():
+    values = [1.0, 2.0, 3.0, 4.0]
+    _, ci95 = mean_confidence_interval(values, confidence=0.95)
+    _, ci99 = mean_confidence_interval(values, confidence=0.99)
+    assert ci99 > ci95
+
+
+def test_aggregate_overlaps():
+    tight_low = Aggregate([1.0, 1.01, 0.99])
+    tight_high = Aggregate([2.0, 2.01, 1.99])
+    wide = Aggregate([0.5, 2.5, 1.5])
+    assert not tight_low.overlaps(tight_high)
+    assert tight_low.overlaps(wide)
+    assert wide.overlaps(tight_high)
+    assert tight_low.overlaps(tight_low)
+
+
+def test_aggregate_repr_contains_mean():
+    assert "2" in repr(Aggregate([2.0, 2.0]))

@@ -1,0 +1,43 @@
+"""Tests for the ASCII visualizer."""
+
+from repro.analysis.visualize import ascii_topology, route_string
+from repro.core import LdrProtocol
+from repro.mobility import StaticPlacement
+from tests.conftest import Network
+
+
+def test_ascii_topology_places_all_nodes():
+    placement = StaticPlacement({0: (0, 0), 1: (500, 0), 2: (1000, 300)})
+    art = ascii_topology(placement, width=40, height=10)
+    assert "0" in art
+    assert "1" in art
+    assert "2" in art
+    assert "t=0.0s" in art
+
+
+def test_ascii_topology_marks_route_and_collisions():
+    placement = StaticPlacement({0: (0, 0), 1: (0, 0), 2: (100, 100)})
+    art = ascii_topology(placement, route=[2])
+    assert "*" in art  # nodes 0 and 1 collide on one cell
+    assert "#" in art  # node 2 drawn as route member
+
+
+def test_ascii_topology_dimensions():
+    placement = StaticPlacement.grid(3, 3, 100.0)
+    art = ascii_topology(placement, width=30, height=8)
+    lines = art.split("\n")
+    assert len(lines) == 9  # 8 rows + legend
+    assert all(len(line) == 30 for line in lines[:-1])
+
+
+def test_route_string_follows_successors():
+    net = Network(LdrProtocol, StaticPlacement.line(4, 200.0))
+    net.send(0, 3)
+    net.run(3.0)
+    assert route_string(net.protocols, 0, 3) == [0, 1, 2, 3]
+
+
+def test_route_string_dead_end():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0))
+    # No discovery ran: node 0 has no successor for 2.
+    assert route_string(net.protocols, 0, 2) == [0, "!"]

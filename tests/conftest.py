@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.mobility import StaticPlacement
+from repro.net import Node, WirelessChannel
+from repro.sim import Simulator
+
+
+class Network:
+    """A small static test network with one protocol class on every node."""
+
+    def __init__(self, protocol_cls, placement, config=None, seed=1,
+                 transmission_range=275.0, mac_config=None):
+        self.sim = Simulator(seed=seed)
+        self.metrics = MetricsCollector(self.sim)
+        self.placement = placement
+        self.channel = WirelessChannel(
+            self.sim, placement, transmission_range=transmission_range
+        )
+        self.nodes = {}
+        self.protocols = {}
+        for node_id in placement.node_ids():
+            node = Node(self.sim, node_id, self.channel,
+                        mac_config=mac_config, metrics=self.metrics)
+            protocol = protocol_cls(self.sim, node, config=config,
+                                    metrics=self.metrics)
+            node.install_routing(protocol)
+            self.nodes[node_id] = node
+            self.protocols[node_id] = protocol
+        self.delivered = []
+        for node in self.nodes.values():
+            node.deliver_fn = self.delivered.append
+            node.start()
+
+    def run(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+    def send(self, src, dst, **kw):
+        return self.nodes[src].send_data(dst, **kw)
+
+    def delivered_to(self, dst):
+        return [p for p in self.delivered if p.dst == dst]
+
+
+@pytest.fixture
+def line_network_factory():
+    """Build a line topology a--b--c--... with the given protocol."""
+
+    def factory(protocol_cls, count=4, spacing=200.0, config=None, seed=1):
+        return Network(protocol_cls, StaticPlacement.line(count, spacing),
+                       config=config, seed=seed)
+
+    return factory
+
+
+@pytest.fixture
+def grid_network_factory():
+    def factory(protocol_cls, rows=3, cols=3, spacing=200.0, config=None,
+                seed=1):
+        return Network(protocol_cls, StaticPlacement.grid(rows, cols, spacing),
+                       config=config, seed=seed)
+
+    return factory

@@ -1,0 +1,195 @@
+"""Unit and property tests for NDC, FDC, SDC and the T-bit rule.
+
+Sequence numbers in these tests are plain integers (the predicates only
+need a total order); the protocol itself uses LabeledSeq.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.conditions import (
+    INFINITY,
+    fdc_violated,
+    ndc_accepts,
+    sdc_allows_reply,
+    strengthen_solicitation,
+    t_bit_update,
+)
+
+sn = st.one_of(st.none(), st.integers(0, 20))
+dist = st.integers(0, 30)
+fd = st.integers(1, 30)
+
+
+# ----------------------------------------------------------------------
+# NDC
+# ----------------------------------------------------------------------
+
+
+def test_ndc_no_information_accepts_anything():
+    assert ndc_accepts(None, INFINITY, 0, 100)
+
+
+def test_ndc_higher_sequence_number_accepts():
+    assert ndc_accepts(5, 2, 6, 999)
+
+
+def test_ndc_equal_sn_requires_distance_below_fd():
+    assert ndc_accepts(5, 3, 5, 2)
+    assert not ndc_accepts(5, 3, 5, 3)
+    assert not ndc_accepts(5, 3, 5, 4)
+
+
+def test_ndc_lower_sequence_number_rejected():
+    assert not ndc_accepts(5, 100, 4, 0)
+
+
+@given(entry_sn=st.integers(0, 20), entry_fd=fd, adv_sn=st.integers(0, 20),
+       adv_dist=dist)
+def test_property_ndc_equivalent_to_paper_eq_1_2(entry_sn, entry_fd, adv_sn,
+                                                 adv_dist):
+    expected = (adv_sn > entry_sn) or (adv_sn == entry_sn and adv_dist < entry_fd)
+    assert ndc_accepts(entry_sn, entry_fd, adv_sn, adv_dist) == expected
+
+
+# ----------------------------------------------------------------------
+# FDC
+# ----------------------------------------------------------------------
+
+
+def test_fdc_violated_when_equal_sn_and_fd_not_smaller():
+    assert fdc_violated(5, 4, 5, 4)
+    assert fdc_violated(5, 5, 5, 4)
+
+
+def test_fdc_ok_with_smaller_fd():
+    assert not fdc_violated(5, 3, 5, 4)
+
+
+def test_fdc_ok_with_different_sn():
+    assert not fdc_violated(6, 100, 5, 4)
+    assert not fdc_violated(4, 100, 5, 4)
+
+
+def test_fdc_no_information_is_not_a_violation():
+    assert not fdc_violated(None, INFINITY, 5, 4)
+
+
+# ----------------------------------------------------------------------
+# SDC
+# ----------------------------------------------------------------------
+
+
+def test_sdc_requires_active_route():
+    assert not sdc_allows_reply(False, 9, 0, 5, 10, False)
+
+
+def test_sdc_higher_sn_always_allows():
+    assert sdc_allows_reply(True, 6, 999, 5, 1, True)
+
+
+def test_sdc_equal_sn_needs_short_distance_and_clear_t():
+    assert sdc_allows_reply(True, 5, 3, 5, 4, False)
+    assert not sdc_allows_reply(True, 5, 4, 5, 4, False)
+    assert not sdc_allows_reply(True, 5, 3, 5, 4, True)
+
+
+def test_sdc_ignore_t_bit():
+    assert sdc_allows_reply(True, 5, 3, 5, 4, True, ignore_t_bit=True)
+
+
+def test_sdc_unknown_request_sn_any_active_route_answers():
+    assert sdc_allows_reply(True, 0, 7, None, INFINITY, False)
+
+
+def test_sdc_older_sn_rejected():
+    assert not sdc_allows_reply(True, 4, 0, 5, INFINITY, False)
+
+
+@given(my_sn=st.integers(0, 20), my_dist=dist, req_sn=sn, t=st.booleans())
+def test_property_sdc_reply_satisfies_requesters_ndc(my_sn, my_dist, req_sn, t):
+    """The paper's Proposition 1, specialized: an advertisement initiated
+    under SDC is acceptable under NDC at the node that issued the
+    solicitation (with the solicitation's own invariants)."""
+    req_fd = 10
+    if sdc_allows_reply(True, my_sn, my_dist, req_sn, req_fd, t):
+        # The requester's entry is (req_sn, req_fd); the advertisement is
+        # (my_sn, my_dist).
+        assert ndc_accepts(req_sn, req_fd, my_sn, my_dist)
+
+
+# ----------------------------------------------------------------------
+# T-bit update (Eq. 8)
+# ----------------------------------------------------------------------
+
+
+def test_t_bit_cleared_by_fresher_relay():
+    assert t_bit_update(6, 99, 5, 4, True) is False
+
+
+def test_t_bit_unchanged_when_ordering_held():
+    assert t_bit_update(5, 3, 5, 4, False) is False
+    assert t_bit_update(5, 3, 5, 4, True) is True
+
+
+def test_t_bit_set_on_violation():
+    assert t_bit_update(5, 4, 5, 4, False) is True
+    assert t_bit_update(5, 9, 5, 4, False) is True
+
+
+def test_t_bit_unchanged_without_information():
+    assert t_bit_update(None, INFINITY, 5, 4, True) is True
+    assert t_bit_update(None, INFINITY, 5, 4, False) is False
+
+
+def test_t_bit_unchanged_with_older_relay_sn():
+    assert t_bit_update(4, 0, 5, 4, False) is False
+
+
+@given(my_sn=sn, my_fd=fd, req_sn=st.integers(0, 20), req_fd=fd,
+       t=st.booleans())
+def test_property_t_bit_set_iff_fdc_violated_or_carried(my_sn, my_fd, req_sn,
+                                                        req_fd, t):
+    out = t_bit_update(my_sn, my_fd, req_sn, req_fd, t)
+    if fdc_violated(my_sn, my_fd, req_sn, req_fd):
+        assert out is True
+    if my_sn is not None and my_sn > req_sn:
+        assert out is False
+
+
+# ----------------------------------------------------------------------
+# solicitation strengthening (Eqs. 5–6)
+# ----------------------------------------------------------------------
+
+
+def test_strengthen_with_fresher_sn_replaces_both():
+    assert strengthen_solicitation(7, 2, 5, 9) == (7, 2)
+
+
+def test_strengthen_with_equal_sn_takes_min_fd():
+    assert strengthen_solicitation(5, 2, 5, 9) == (5, 2)
+    assert strengthen_solicitation(5, 9, 5, 2) == (5, 2)
+
+
+def test_strengthen_with_older_or_no_information_keeps_request():
+    assert strengthen_solicitation(4, 0, 5, 9) == (5, 9)
+    assert strengthen_solicitation(None, INFINITY, 5, 9) == (5, 9)
+
+
+@given(my_sn=sn, my_fd=fd, req_sn=sn,
+       req_fd=st.one_of(st.just(INFINITY), fd))
+def test_property_strengthening_is_monotone(my_sn, my_fd, req_sn, req_fd):
+    """The strengthened solicitation is never weaker: its (sn, -fd) is
+    lexicographically >= both inputs' where comparable."""
+    out_sn, out_fd = strengthen_solicitation(my_sn, my_fd, req_sn, req_fd)
+    # Never weaker than the original request.
+    if req_sn is not None:
+        assert out_sn is not None and out_sn >= req_sn
+        if out_sn == req_sn:
+            assert out_fd <= req_fd
+    # Never weaker than the relay's own state.
+    if my_sn is not None:
+        if out_sn == my_sn:
+            assert out_fd <= my_fd
+        elif req_sn is not None:
+            assert out_sn > my_sn

@@ -1,0 +1,45 @@
+"""Unit tests for LdrConfig helpers."""
+
+import pytest
+
+from repro.core import LdrConfig
+
+
+def test_ring_timeout_scales_with_ttl():
+    config = LdrConfig(node_traversal_time=0.04)
+    assert config.ring_timeout(35) == pytest.approx(2.8)
+    assert config.ring_timeout(1) == 0.2  # floored
+
+
+def test_answering_distance_truncates():
+    config = LdrConfig(reduced_distance_factor=0.8)
+    assert config.answering_distance(5) == 4
+    assert config.answering_distance(4) == 3
+    assert config.answering_distance(2) == 1
+    assert config.answering_distance(1) == 1
+
+
+def test_answering_distance_infinite_passthrough():
+    config = LdrConfig()
+    assert config.answering_distance(float("inf")) == float("inf")
+
+
+def test_without_clones_deeply_enough():
+    config = LdrConfig()
+    clone = config.without(multiple_rreps=False, ttl_start=5)
+    assert not clone.multiple_rreps and clone.ttl_start == 5
+    assert config.multiple_rreps and config.ttl_start == 2
+
+
+def test_defaults_match_paper_parameters():
+    config = LdrConfig()
+    # AODV-draft timers the paper's messaging structure inherits.
+    assert config.active_route_timeout == 3.0
+    assert config.min_reply_lifetime == pytest.approx(
+        config.active_route_timeout / 3.0)
+    assert config.reduced_distance_factor == 0.8
+    # All five Section-4 optimizations on by default.
+    assert config.multiple_rreps
+    assert config.request_as_error
+    assert config.optimal_ttl
+    assert config.n_bit_probe

@@ -1,0 +1,45 @@
+"""Integration of the DistanceCost model with a live LDR network."""
+
+from repro.core import LdrConfig, LdrProtocol
+from repro.mobility import StaticPlacement
+from repro.routing.costs import DistanceCost
+from tests.conftest import Network
+
+
+def test_distance_cost_bound_to_simulation_clock():
+    placement = StaticPlacement.line(3, 250.0)  # near-range links
+    cost = DistanceCost(placement, transmission_range=275.0, extra=3)
+    net = Network(LdrProtocol, placement,
+                  config=LdrConfig(link_cost=cost))
+    net.send(0, 2)
+    net.run(3.0)
+    assert len(net.delivered_to(2)) == 1
+    # 250 m of 275 m range: frac ~0.83 -> cost 1 + round(3 * 0.83) ≈ 3..4
+    entry = net.protocols[0].table[2]
+    assert entry.dist >= 6  # two expensive links
+    assert entry.fd <= entry.dist
+
+
+def test_distance_cost_short_links_stay_cheap():
+    # 50 m spacing: 0 and 2 are 100 m apart, i.e. *direct* neighbors with
+    # a near-unit cost link ((100/275)^2 -> 1 + round(0.4) = 1).
+    placement = StaticPlacement.line(3, 50.0)
+    cost = DistanceCost(placement, transmission_range=275.0, extra=3)
+    net = Network(LdrProtocol, placement,
+                  config=LdrConfig(link_cost=cost))
+    net.send(0, 2)
+    net.run(3.0)
+    entry = net.protocols[0].table[2]
+    assert entry.next_hop == 2
+    assert entry.dist == 1
+
+
+def test_clock_binding_updates_costs_over_time():
+    """The model reads positions at the *current* simulation time."""
+    placement = StaticPlacement({0: (0, 0), 1: (50, 0)})
+    cost = DistanceCost(placement, transmission_range=275.0, extra=3)
+    cost.bind_clock(lambda: 0.0)
+    cheap = cost(0, 1)
+    placement.move(1, 270.0, 0.0)
+    expensive = cost(0, 1)
+    assert expensive > cheap

@@ -1,0 +1,124 @@
+"""Replication of the paper's worked example (Figure 1, Section 2.3).
+
+Destination T in a six-node network.  Phase one exercises NDC at node E as
+the three RREPs from nodes B, C, D arrive in the narrative's order; phase
+two exercises the T-bit path reset: E re-discovers with feasible distance
+2, B and C must forward (and set T), D satisfies SDC without the T bit and
+unicasts the RREQ to T, which increments its sequence number; the RREP
+then resets feasible distances along the reverse path E<-B<-C<-D<-T.
+"""
+
+from repro.core import LdrConfig, LdrProtocol
+from repro.core.messages import LdrRrep
+from repro.core.state import LdrRouteEntry
+from repro.mobility import StaticPlacement
+from repro.routing.seqnum import LabeledSeq
+from tests.conftest import Network
+
+E, B, C, D, T = 0, 1, 2, 3, 4
+SN1 = LabeledSeq(0.0, 1)
+
+
+def _inject(protocol, dst, seqno, dist, fd, next_hop, lifetime=1e9):
+    entry = LdrRouteEntry(dst)
+    entry.seqno = seqno
+    entry.dist = dist
+    entry.fd = fd
+    entry.next_hop = next_hop
+    entry.valid = True
+    entry.expiry = protocol.sim.now + lifetime
+    protocol.table[dst] = entry
+    return entry
+
+
+def test_phase1_ndc_reply_sequence_at_e():
+    """C replies first (dist 3, fd 2), then B (dist 4), then D (dist 1)."""
+    net = Network(LdrProtocol, StaticPlacement.star(3, radius=200.0))
+    e = net.protocols[0]
+    rreqid = 7
+
+    # C's RREP first: measured distance 3 -> E stores 4/4.
+    e.on_packet(LdrRrep(dst=T, sn_dst=SN1, src=E, rreqid=rreqid,
+                        dist=3, lifetime=30.0), from_id=1)
+    entry = e.table[T]
+    assert (entry.dist, entry.fd) == (4, 4)
+    assert entry.next_hop == 1
+
+    # B's RREP with start distance 4: not shorter than E's feasible
+    # distance, so E ignores it.
+    e.on_packet(LdrRrep(dst=T, sn_dst=SN1, src=E, rreqid=rreqid,
+                        dist=4, lifetime=30.0), from_id=2)
+    entry = e.table[T]
+    assert (entry.dist, entry.fd) == (4, 4)
+    assert entry.next_hop == 1
+
+    # D's RREP with measured distance 1: E updates both to 2, successor D.
+    e.on_packet(LdrRrep(dst=T, sn_dst=SN1, src=E, rreqid=rreqid,
+                        dist=1, lifetime=30.0), from_id=3)
+    entry = e.table[T]
+    assert (entry.dist, entry.fd) == (2, 2)
+    assert entry.next_hop == 3
+
+
+def test_phase2_t_bit_reset_through_destination():
+    """After links e2/e3 fail, E's RREQ (fd 2) forces a path reset via T."""
+    placement = StaticPlacement.line(5, spacing=200.0)  # E-B-C-D-T
+    config = LdrConfig(reduced_distance_factor=None)  # follow the paper text
+    net = Network(LdrProtocol, placement, config=config)
+
+    # Labels from Figure 1 (dist/fd): B=4/4, C=3/2, D=1/1, all at sn 1.
+    _inject(net.protocols[B], T, SN1, 4, 4, next_hop=C)
+    _inject(net.protocols[C], T, SN1, 3, 2, next_hop=D)
+    _inject(net.protocols[D], T, SN1, 1, 1, next_hop=T)
+    # E's route broke: labels 2/2 retained but invalid.
+    broken = _inject(net.protocols[E], T, SN1, 2, 2, next_hop=D)
+    broken.invalidate()
+    # T owns sequence number 1.
+    net.protocols[T].own_seq = SN1
+
+    net.send(E, T)
+    net.run(5.0)
+
+    # The destination performed exactly one reset.
+    assert net.protocols[T].own_seq_increments == 1
+    sn2 = net.protocols[T].own_seq
+    assert sn2 > SN1
+
+    # D relayed the reset RREP: distance 1, feasible distance reset to 1.
+    d_entry = net.protocols[D].table[T]
+    assert (d_entry.seqno, d_entry.dist, d_entry.fd) == (sn2, 1, 1)
+    # C: measured distance 2, feasible distance (still) 2.
+    c_entry = net.protocols[C].table[T]
+    assert (c_entry.seqno, c_entry.dist, c_entry.fd) == (sn2, 2, 2)
+    # B: both reset to 3.
+    b_entry = net.protocols[B].table[T]
+    assert (b_entry.seqno, b_entry.dist, b_entry.fd) == (sn2, 3, 3)
+    # E: measured distance 4, feasible distance reset to 4.
+    e_entry = net.protocols[E].table[T]
+    assert (e_entry.seqno, e_entry.dist, e_entry.fd) == (sn2, 4, 4)
+    assert e_entry.next_hop == B
+
+    # And the buffered data packet arrived at T over the reset path.
+    assert len(net.delivered_to(T)) == 1
+
+
+def test_phase2_without_t_bit_d_replies_directly():
+    """Control: if E's feasible distance were loose (fd 5), D could reply
+    without any reset and T's number would stay untouched."""
+    placement = StaticPlacement.line(5, spacing=200.0)
+    config = LdrConfig(reduced_distance_factor=None)
+    net = Network(LdrProtocol, placement, config=config)
+    _inject(net.protocols[B], T, SN1, 4, 4, next_hop=C)
+    _inject(net.protocols[C], T, SN1, 3, 2, next_hop=D)
+    _inject(net.protocols[D], T, SN1, 1, 1, next_hop=T)
+    broken = _inject(net.protocols[E], T, SN1, 5, 5, next_hop=D)
+    broken.invalidate()
+    net.protocols[T].own_seq = SN1
+
+    net.send(E, T)
+    net.run(5.0)
+
+    assert net.protocols[T].own_seq_increments == 0
+    assert len(net.delivered_to(T)) == 1
+    # E accepted an advertisement under the same sequence number.
+    assert net.protocols[E].table[T].seqno == SN1

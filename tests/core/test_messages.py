@@ -1,0 +1,55 @@
+"""Unit tests for LDR control-message structures."""
+
+from repro.core.messages import INFINITY, LdrRerr, LdrRrep, LdrRreq
+from repro.routing.seqnum import LabeledSeq
+
+
+def test_rreq_defaults_unknown_invariants():
+    rreq = LdrRreq(dst=5, sn_dst=None, rreqid=1, src=0,
+                   sn_src=LabeledSeq(0, 0), fd=None)
+    assert rreq.fd == INFINITY
+    assert rreq.answering_fd == INFINITY
+    assert not rreq.t_bit and not rreq.n_bit and not rreq.d_bit
+
+
+def test_rreq_copy_is_deep_enough():
+    rreq = LdrRreq(dst=5, sn_dst=LabeledSeq(0, 1), rreqid=1, src=0,
+                   sn_src=LabeledSeq(0, 0), fd=4, dist=2, ttl=7,
+                   t_bit=True, answering_fd=3)
+    clone = rreq.copy()
+    clone.dist += 1
+    clone.ttl -= 1
+    clone.t_bit = False
+    assert rreq.dist == 2 and rreq.ttl == 7 and rreq.t_bit
+    assert clone.answering_fd == 3
+    assert clone.uid != rreq.uid
+
+
+def test_rreq_is_control_with_kind():
+    rreq = LdrRreq(dst=5, sn_dst=None, rreqid=1, src=0,
+                   sn_src=LabeledSeq(0, 0), fd=None)
+    assert rreq.is_control
+    assert rreq.kind == "rreq"
+
+
+def test_rreq_repr_shows_flags():
+    rreq = LdrRreq(dst=5, sn_dst=None, rreqid=1, src=0,
+                   sn_src=LabeledSeq(0, 0), fd=None, t_bit=True, d_bit=True)
+    assert "T" in repr(rreq) and "D" in repr(rreq) and "N" not in repr(rreq)
+
+
+def test_rrep_copy_and_fields():
+    rrep = LdrRrep(dst=5, sn_dst=LabeledSeq(0, 2), src=0, rreqid=9,
+                   dist=3, lifetime=2.5, n_bit=True)
+    clone = rrep.copy()
+    clone.dist = 99
+    assert rrep.dist == 3
+    assert clone.n_bit
+    assert rrep.kind == "rrep"
+
+
+def test_rerr_size_scales_with_destinations():
+    small = LdrRerr([(1, None)])
+    large = LdrRerr([(i, None) for i in range(5)])
+    assert large.size_bytes > small.size_bytes
+    assert large.copy().unreachable == large.unreachable

@@ -1,0 +1,99 @@
+"""Tests for the N-bit machinery (Section 2.2).
+
+When a relay cannot build the reverse path (NDC rejects the RREQ-as-
+advertisement and it holds no active route to the origin), it sets the N
+bit: the RREQ stops being an advertisement for its origin.  The bit rides
+the RREP back; the origin then increments its own sequence number and may
+probe along the forward path with a unicast, D-bit RREQ so the reverse
+path gets built.
+"""
+
+from repro.core import LdrConfig, LdrProtocol
+from repro.core.messages import LdrRrep, LdrRreq
+from repro.core.state import LdrRouteEntry
+from repro.mobility import StaticPlacement
+from repro.routing.seqnum import LabeledSeq
+from tests.conftest import Network
+
+
+def _inject(protocol, dst, seqno, dist, fd, next_hop, valid=True):
+    entry = LdrRouteEntry(dst)
+    entry.seqno, entry.dist, entry.fd = seqno, dist, fd
+    entry.next_hop, entry.valid = next_hop, valid
+    entry.expiry = protocol.sim.now + 1e9
+    protocol.table[dst] = entry
+    return entry
+
+
+def test_relay_sets_n_bit_when_reverse_path_blocked():
+    net = Network(LdrProtocol, StaticPlacement.line(4, 200.0))
+    relay = net.protocols[1]
+    # Relay holds *stronger* invariants for the origin 0 than the RREQ
+    # advertises (same sn, fd smaller than the advertised distance), and
+    # its stored route is invalid -> NDC rejects, no active route -> N.
+    _inject(relay, 0, LabeledSeq(0.0, 0), 1, 1, next_hop=0, valid=False)
+    rreq = LdrRreq(dst=3, sn_dst=None, rreqid=5, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, dist=1, ttl=5)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    relay.on_packet(rreq, from_id=0)
+    net.run(0.1)
+    forwarded = [p for p in sent if isinstance(p, LdrRreq)]
+    assert forwarded and forwarded[0].n_bit
+
+
+def test_relay_clears_nothing_when_reverse_path_builds():
+    net = Network(LdrProtocol, StaticPlacement.line(4, 200.0))
+    relay = net.protocols[1]
+    rreq = LdrRreq(dst=3, sn_dst=None, rreqid=5, src=0,
+                   sn_src=LabeledSeq(0.0, 1), fd=None, dist=0, ttl=5)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    relay.on_packet(rreq, from_id=0)
+    net.run(0.1)  # relayed floods are jittered
+    forwarded = [p for p in sent if isinstance(p, LdrRreq)]
+    assert forwarded and not forwarded[0].n_bit
+    assert relay.table[0].valid
+
+
+def test_origin_increments_and_probes_on_n_bit_rrep():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(n_bit_probe=True))
+    origin = net.protocols[0]
+    _inject(origin, 2, LabeledSeq(0.0, 1), 2, 2, next_hop=1)
+    before = origin.own_seq
+    rrep = LdrRrep(dst=2, sn_dst=LabeledSeq(0.0, 1), src=0, rreqid=3,
+                   dist=1, lifetime=3.0, n_bit=True)
+    origin.on_packet(rrep, from_id=1)
+    assert origin.own_seq > before
+    assert origin.own_seq_increments == 1
+    net.run(0.5)
+    # The probe went out as a unicast D-bit RREQ (counted as initiated).
+    assert net.metrics.control_initiated.get("rreq", 0) >= 1
+
+
+def test_probe_disabled_by_config():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(n_bit_probe=False))
+    origin = net.protocols[0]
+    _inject(origin, 2, LabeledSeq(0.0, 1), 2, 2, next_hop=1)
+    rrep = LdrRrep(dst=2, sn_dst=LabeledSeq(0.0, 1), src=0, rreqid=3,
+                   dist=1, lifetime=3.0, n_bit=True)
+    origin.on_packet(rrep, from_id=1)
+    net.run(0.5)
+    assert origin.own_seq_increments == 0
+    assert net.metrics.control_initiated.get("rreq", 0) == 0
+
+
+def test_n_bit_rides_the_rrep_chain():
+    """An N-flagged solicitation produces an N-flagged reply."""
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0))
+    destination = net.protocols[2]
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=4, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, dist=1, ttl=5,
+                   n_bit=True)
+    sent = []
+    destination.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    destination.on_packet(rreq, from_id=1)
+    replies = [p for p in sent if isinstance(p, LdrRrep)]
+    assert replies and replies[0].n_bit

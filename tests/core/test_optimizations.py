@@ -1,0 +1,156 @@
+"""Directed tests of LDR's five Section-4 optimizations."""
+
+from repro.core import LdrConfig, LdrProtocol
+from repro.core.messages import LdrRrep, LdrRreq
+from repro.core.state import LdrRouteEntry
+from repro.mobility import StaticPlacement
+from repro.routing.seqnum import LabeledSeq
+from tests.conftest import Network
+
+SN = LabeledSeq(0.0, 1)
+
+
+def _inject(protocol, dst, seqno, dist, fd, next_hop, lifetime=1e9):
+    entry = LdrRouteEntry(dst)
+    entry.seqno, entry.dist, entry.fd = seqno, dist, fd
+    entry.next_hop, entry.valid = next_hop, True
+    entry.expiry = protocol.sim.now + lifetime
+    protocol.table[dst] = entry
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Optimal TTL (initial ring sized by D - FD + LOCAL_ADD_TTL)
+# ----------------------------------------------------------------------
+
+
+def test_optimal_ttl_uses_distance_minus_answering_fd():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(optimal_ttl=True, local_add_ttl=2,
+                                   reduced_distance_factor=None))
+    protocol = net.protocols[0]
+    entry = _inject(protocol, 2, SN, 6, 4, next_hop=1)
+    assert protocol._initial_ttl(entry, attempt=0) == 6 - 4 + 2
+
+
+def test_optimal_ttl_respects_reduced_distance():
+    config = LdrConfig(optimal_ttl=True, local_add_ttl=2,
+                       reduced_distance_factor=0.5)
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0), config=config)
+    protocol = net.protocols[0]
+    entry = _inject(protocol, 2, SN, 6, 4, next_hop=1)
+    # answering distance = max(1, int(0.5*4)) = 2 -> ttl = 6 and threshold
+    # (7) not exceeded.
+    assert protocol._initial_ttl(entry, attempt=0) == 6
+
+
+def test_optimal_ttl_disabled_falls_back_to_ring_start():
+    config = LdrConfig(optimal_ttl=False, ttl_start=2)
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0), config=config)
+    protocol = net.protocols[0]
+    entry = _inject(protocol, 2, SN, 6, 4, next_hop=1)
+    assert protocol._initial_ttl(entry, attempt=0) == 2
+
+
+def test_ttl_escalates_to_diameter_past_threshold():
+    config = LdrConfig(ttl_start=6, ttl_increment=3, ttl_threshold=7,
+                       net_diameter=35, optimal_ttl=False)
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0), config=config)
+    protocol = net.protocols[0]
+    assert protocol._initial_ttl(None, attempt=0) == 6
+    assert protocol._initial_ttl(None, attempt=1) == 35  # 9 > threshold
+    assert protocol._initial_ttl(None, attempt=2) == 35  # final: full flood
+
+
+# ----------------------------------------------------------------------
+# Minimum lifetime (don't answer with a nearly-expired route)
+# ----------------------------------------------------------------------
+
+
+def test_min_lifetime_makes_node_relay_instead_of_reply():
+    config = LdrConfig(min_reply_lifetime=1.0)
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0), config=config)
+    relay = net.protocols[1]
+    _inject(relay, 2, SN, 1, 1, next_hop=2, lifetime=0.2)  # about to expire
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=1, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, ttl=5)
+    relay.on_packet(rreq, from_id=0)
+    net.run(0.1)
+    assert any(isinstance(p, LdrRreq) for p in sent)
+    assert not any(isinstance(p, LdrRrep) for p in sent)
+
+
+def test_fresh_route_replies_instead_of_relaying():
+    config = LdrConfig(min_reply_lifetime=1.0)
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0), config=config)
+    relay = net.protocols[1]
+    _inject(relay, 2, SN, 1, 1, next_hop=2, lifetime=30.0)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=1, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, ttl=5)
+    relay.on_packet(rreq, from_id=0)
+    net.run(0.1)
+    assert any(isinstance(p, LdrRrep) for p in sent)
+    assert not any(isinstance(p, LdrRreq) for p in sent)
+
+
+# ----------------------------------------------------------------------
+# Multiple RREPs (only strictly stronger replies cross a relay)
+# ----------------------------------------------------------------------
+
+
+def test_multiple_rreps_forwards_stronger_reply():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(multiple_rreps=True))
+    relay = net.protocols[1]
+    # Engage the relay in computation (0, 5).
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=5, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, ttl=5)
+    relay.on_packet(rreq, from_id=0)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=3,
+                            lifetime=5.0), from_id=2)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=1,
+                            lifetime=5.0), from_id=2)
+    replies = [p for p in sent if isinstance(p, LdrRrep)]
+    assert len(replies) == 2  # the second was strictly stronger
+
+
+def test_multiple_rreps_drops_equal_or_weaker_reply():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(multiple_rreps=True))
+    relay = net.protocols[1]
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=5, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, ttl=5)
+    relay.on_packet(rreq, from_id=0)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=1,
+                            lifetime=5.0), from_id=2)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=1,
+                            lifetime=5.0), from_id=2)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=3,
+                            lifetime=5.0), from_id=2)
+    replies = [p for p in sent if isinstance(p, LdrRrep)]
+    assert len(replies) == 1
+
+
+def test_single_rrep_mode_forwards_only_first():
+    net = Network(LdrProtocol, StaticPlacement.line(3, 200.0),
+                  config=LdrConfig(multiple_rreps=False))
+    relay = net.protocols[1]
+    rreq = LdrRreq(dst=2, sn_dst=None, rreqid=5, src=0,
+                   sn_src=LabeledSeq(0.0, 0), fd=None, ttl=5)
+    relay.on_packet(rreq, from_id=0)
+    sent = []
+    relay.mac.send = lambda p, next_hop=None, on_fail=None: sent.append(p)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=3,
+                            lifetime=5.0), from_id=2)
+    relay.on_packet(LdrRrep(dst=2, sn_dst=SN, src=0, rreqid=5, dist=1,
+                            lifetime=5.0), from_id=2)
+    replies = [p for p in sent if isinstance(p, LdrRrep)]
+    assert len(replies) == 1

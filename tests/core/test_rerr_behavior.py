@@ -1,0 +1,75 @@
+"""Focused tests of LDR's RERR semantics (destination-controlled numbers).
+
+AODV increments the broken destination's sequence number in its RERRs;
+LDR must NOT — the number stays with its owner, and the RERR merely
+invalidates routes through the failed link.
+"""
+
+from repro.core import LdrProtocol
+from repro.core.messages import LdrRerr
+from repro.mobility import StaticPlacement
+from tests.conftest import Network
+
+
+def _established_line(count=5):
+    net = Network(LdrProtocol, StaticPlacement.line(count, 200.0))
+    net.send(0, count - 1)
+    net.run(1.0)
+    return net
+
+
+def test_rerr_does_not_touch_sequence_numbers():
+    net = _established_line()
+    entry = net.protocols[1].table[4]
+    sn_before = entry.seqno
+    net.protocols[1].on_packet(LdrRerr([(4, sn_before)]), from_id=2)
+    assert not entry.valid
+    assert entry.seqno == sn_before  # unchanged: only node 4 may move it
+    assert net.protocols[4].own_seq_increments == 0
+
+
+def test_rerr_only_invalidates_routes_through_sender():
+    net = _established_line()
+    entry = net.protocols[1].table[4]
+    assert entry.next_hop == 2
+    # RERR from node 0 (not our next hop toward 4): ignored.
+    net.protocols[1].on_packet(LdrRerr([(4, entry.seqno)]), from_id=0)
+    assert entry.valid
+    # RERR from node 2 (our next hop): invalidates.
+    net.protocols[1].on_packet(LdrRerr([(4, entry.seqno)]), from_id=2)
+    assert not entry.valid
+
+
+def test_rerr_propagation_is_bounded():
+    """A RERR chain dies once no upstream node routes through the sender
+    — no broadcast storm."""
+    net = _established_line()
+    rerr_tx_before = net.metrics.control_transmissions.get("rerr", 0)
+    net.protocols[3].on_packet(LdrRerr([(4, None)]), from_id=4)
+    net.run(2.0)
+    rerr_tx = net.metrics.control_transmissions.get("rerr", 0) - rerr_tx_before
+    # One relay per upstream hop at most (3->2->1->0): bounded, not O(n^2).
+    assert 0 < rerr_tx <= 4
+
+
+def test_rerr_ignores_unknown_destinations():
+    net = _established_line()
+    protocol = net.protocols[1]
+    tables_before = dict(protocol.table)
+    protocol.on_packet(LdrRerr([(99, None)]), from_id=2)
+    assert protocol.table == tables_before
+
+
+def test_labels_survive_invalidation_for_future_ndc():
+    """The invalidated entry keeps (sn, fd) so a later stale advertisement
+    with the same number and a non-smaller distance is still rejected."""
+    net = _established_line()
+    protocol = net.protocols[1]
+    entry = protocol.table[4]
+    fd_before = entry.fd
+    protocol.on_packet(LdrRerr([(4, entry.seqno)]), from_id=2)
+    from repro.core.messages import LdrRrep
+
+    protocol.on_packet(LdrRrep(dst=4, sn_dst=entry.seqno, src=1, rreqid=5,
+                               dist=fd_before, lifetime=5.0), from_id=0)
+    assert not protocol.table[4].valid  # NDC rejected the stale offer

@@ -1,0 +1,70 @@
+"""Unit tests for LDR per-node state objects."""
+
+from repro.core.messages import INFINITY
+from repro.core.state import LdrRouteEntry, RreqCacheEntry
+from repro.routing.seqnum import LabeledSeq
+
+
+def test_new_entry_has_no_information():
+    entry = LdrRouteEntry(7)
+    assert entry.seqno is None
+    assert entry.dist == INFINITY
+    assert entry.fd == INFINITY
+    assert not entry.valid
+    assert not entry.is_active(0.0)
+
+
+def test_entry_active_within_lifetime():
+    entry = LdrRouteEntry(7)
+    entry.valid = True
+    entry.expiry = 10.0
+    assert entry.is_active(5.0)
+    assert not entry.is_active(10.0)
+    assert entry.remaining_lifetime(4.0) == 6.0
+
+
+def test_invalidate_keeps_labels():
+    entry = LdrRouteEntry(7)
+    entry.seqno = LabeledSeq(0, 3)
+    entry.dist = 4
+    entry.fd = 2
+    entry.valid = True
+    entry.invalidate()
+    assert not entry.valid
+    assert entry.seqno == LabeledSeq(0, 3)
+    assert entry.fd == 2
+    assert entry.dist == 4
+
+
+def test_remaining_lifetime_zero_when_invalid():
+    entry = LdrRouteEntry(7)
+    entry.expiry = 100.0
+    assert entry.remaining_lifetime(0.0) == 0.0
+
+
+def test_cache_entry_first_reply_is_stronger():
+    cache = RreqCacheEntry(1, 9, last_hop=2, now=0.0, timeout=5.0)
+    assert cache.stronger_than_forwarded(LabeledSeq(0, 1), 4)
+
+
+def test_cache_entry_multiple_rreps_rule():
+    cache = RreqCacheEntry(1, 9, last_hop=2, now=0.0, timeout=5.0)
+    cache.record_forwarded(LabeledSeq(0, 1), 4)
+    # Same sn, shorter distance: stronger.
+    assert cache.stronger_than_forwarded(LabeledSeq(0, 1), 3)
+    # Same sn, same or longer distance: not stronger.
+    assert not cache.stronger_than_forwarded(LabeledSeq(0, 1), 4)
+    assert not cache.stronger_than_forwarded(LabeledSeq(0, 1), 5)
+    # Fresher sn: stronger regardless of distance.
+    assert cache.stronger_than_forwarded(LabeledSeq(0, 2), 99)
+    # Older sn: never stronger.
+    assert not cache.stronger_than_forwarded(LabeledSeq(0, 0), 0)
+
+
+def test_cache_entry_expiry_and_fields():
+    cache = RreqCacheEntry(3, 11, last_hop=5, now=2.0, timeout=6.0)
+    assert cache.origin == 3
+    assert cache.rreqid == 11
+    assert cache.last_hop == 5
+    assert cache.expiry == 8.0
+    assert not cache.forwarded_unicast

@@ -1,0 +1,64 @@
+"""Unit tests for the table/figure generators (tiny campaigns)."""
+
+from repro.experiments.campaigns import Campaign
+from repro.experiments.figures import (
+    figure_delivery,
+    figure_qualnet_crosscheck,
+    figure_seqno,
+    format_series,
+)
+from repro.experiments.tables import TABLE1_METRICS, format_table1, table1
+
+
+def _tiny_campaign():
+    return Campaign(duration=8.0, trials=1, num_nodes_small=12,
+                    num_nodes_large=16)
+
+
+def test_table1_structure():
+    campaign = _tiny_campaign()
+    results = table1(2, campaign=campaign, protocols=("ldr", "aodv"))
+    assert set(results) == {"ldr", "aodv"}
+    for metrics in results.values():
+        assert set(metrics) == {key for key, _ in TABLE1_METRICS}
+        # one sample per (2 node counts x pauses x 1 trial)
+        expected = 2 * len(campaign.pauses())
+        assert len(metrics["delivery_ratio"].values) == expected
+
+
+def test_format_table1_renders_all_rows():
+    campaign = _tiny_campaign()
+    results = table1(2, campaign=campaign, protocols=("ldr",))
+    text = format_table1(results, 2)
+    assert "LDR" in text
+    assert "Delivery" in text
+    assert "±" in text
+
+
+def test_figure_delivery_series_shape():
+    campaign = _tiny_campaign()
+    series = figure_delivery(12, 2, campaign=campaign, protocols=("ldr",))
+    points = series["ldr"]
+    assert [p[0] for p in points] == campaign.pauses()
+    for _, mean, ci in points:
+        assert 0.0 <= mean <= 1.0
+        assert ci >= 0.0
+
+
+def test_figure_seqno_has_four_series():
+    campaign = Campaign(duration=6.0, trials=1)
+    series = figure_seqno(campaign=campaign, num_nodes=12)
+    assert set(series) == {"ldr-low", "ldr-high", "aodv-low", "aodv-high"}
+
+
+def test_figure_qualnet_uses_dsr7():
+    campaign = Campaign(duration=6.0, trials=1, num_nodes_small=12)
+    series = figure_qualnet_crosscheck(campaign=campaign)
+    assert "dsr7" in series and "dsr" not in series
+
+
+def test_format_series_renders():
+    text = format_series({"ldr": [(0, 0.95, 0.01)]}, "Title", ylabel="y")
+    assert "Title" in text
+    assert "ldr" in text
+    assert "0.9500" in text

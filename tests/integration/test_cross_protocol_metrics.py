@@ -1,0 +1,58 @@
+"""Cross-protocol metric sanity on a single shared workload."""
+
+import pytest
+
+from repro import ScenarioConfig, run_scenario
+
+BASE = dict(num_nodes=20, width=900.0, height=300.0, num_flows=3,
+            duration=25.0, pause_time=0.0, seed=41)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for protocol in ("oracle", "ldr", "aodv", "dsr", "olsr"):
+        out[protocol] = run_scenario(
+            ScenarioConfig(protocol=protocol, **BASE))
+    return out
+
+
+def test_oracle_dominates_delivery(reports):
+    ceiling = reports["oracle"].delivery_ratio
+    for name, report in reports.items():
+        assert report.delivery_ratio <= ceiling + 1e-9, name
+
+
+def test_oracle_has_zero_control_cost(reports):
+    assert reports["oracle"].network_load == 0.0
+
+
+def test_on_demand_protocols_discover_lazily(reports):
+    # On-demand protocols only pay per discovery; OLSR beacons constantly.
+    for name in ("ldr", "aodv", "dsr"):
+        assert reports[name].c.control_transmissions.get("hello", 0) == 0
+    assert reports["olsr"].c.control_transmissions["hello"] > 0
+
+
+def test_mean_hops_close_to_oracle_paths(reports):
+    oracle_hops = reports["oracle"].mean_hops
+    for name in ("ldr", "aodv", "dsr"):
+        report = reports[name]
+        if report.c.data_delivered:
+            # On-demand paths are discovered by flooding, so at most a few
+            # hops longer than the true shortest paths on average.
+            assert report.mean_hops <= oracle_hops + 2.0, name
+
+
+def test_latency_ordering_olsr_fastest_forwarding(reports):
+    """OLSR (no discovery latency) has the lowest mean latency — the
+    paper's Table-1 observation."""
+    olsr = reports["olsr"].mean_latency
+    for name in ("ldr", "aodv", "dsr"):
+        assert olsr <= reports[name].mean_latency + 1e-6, name
+
+
+def test_seqno_only_meaningful_for_ldr_and_aodv(reports):
+    assert reports["aodv"].mean_destination_seqno > 0
+    assert reports["dsr"].mean_destination_seqno == 0.0
+    assert reports["olsr"].mean_destination_seqno == 0.0

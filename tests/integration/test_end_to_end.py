@@ -1,0 +1,88 @@
+"""Cross-module integration: every protocol on realistic scenarios."""
+
+import pytest
+
+from repro import ScenarioConfig, run_scenario
+from repro.core import LdrProtocol
+from repro.mobility import StaticPlacement
+from repro.protocols import AodvProtocol, DsrProtocol, OlsrProtocol
+from tests.conftest import Network
+
+ON_DEMAND = [LdrProtocol, AodvProtocol, DsrProtocol]
+ALL_PROTOCOLS = ON_DEMAND + [OlsrProtocol]
+
+
+@pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS,
+                         ids=lambda c: c.name)
+def test_grid_delivery_static(protocol_cls):
+    net = Network(protocol_cls, StaticPlacement.grid(4, 4, 200.0), seed=11)
+    net.run(12.0)  # lets OLSR converge; harmless for on-demand
+    for src, dst in ((0, 15), (12, 3), (5, 10)):
+        net.send(src, dst)
+    net.run(5.0)
+    for dst in (15, 3, 10):
+        assert len(net.delivered_to(dst)) == 1, protocol_cls.name
+
+
+@pytest.mark.parametrize("protocol_cls", ON_DEMAND, ids=lambda c: c.name)
+def test_on_demand_protocols_are_quiet_without_traffic(protocol_cls):
+    net = Network(protocol_cls, StaticPlacement.grid(3, 3, 200.0), seed=1)
+    net.run(10.0)
+    assert sum(net.metrics.control_transmissions.values()) == 0
+
+
+def test_olsr_beacons_without_traffic():
+    net = Network(OlsrProtocol, StaticPlacement.grid(3, 3, 200.0), seed=1)
+    net.run(10.0)
+    assert net.metrics.control_transmissions["hello"] > 0
+
+
+@pytest.mark.parametrize("protocol", ["ldr", "aodv", "dsr", "olsr"])
+def test_mobile_scenario_delivers_most_packets(protocol):
+    report = run_scenario(ScenarioConfig(
+        protocol=protocol, num_nodes=25, width=1000.0, height=300.0,
+        num_flows=4, duration=40.0, pause_time=0.0, seed=17,
+    ))
+    d = report.as_dict()
+    assert d["data_originated"] > 100
+    # Even DSR/OLSR should clear a low bar on this mild scenario.
+    floor = 0.45 if protocol == "olsr" else 0.6
+    assert d["delivery_ratio"] >= floor, (protocol, d["delivery_ratio"])
+
+
+def test_ldr_beats_or_matches_others_on_churny_network():
+    """The headline comparison, miniaturized: LDR's delivery is at least
+    competitive under mobility."""
+    results = {}
+    for protocol in ("ldr", "aodv", "dsr"):
+        report = run_scenario(ScenarioConfig(
+            protocol=protocol, num_nodes=25, width=1200.0, height=300.0,
+            num_flows=6, duration=40.0, pause_time=0.0, seed=23,
+        ))
+        results[protocol] = report.delivery_ratio
+    assert results["ldr"] >= results["dsr"] - 0.05
+    assert results["ldr"] >= results["aodv"] - 0.10
+
+
+def test_ldr_seqno_growth_far_below_aodv():
+    """Figure 7's shape: destination sequence numbers stay near zero for
+    LDR and grow with churn for AODV."""
+    seqnos = {}
+    for protocol in ("ldr", "aodv"):
+        report = run_scenario(ScenarioConfig(
+            protocol=protocol, num_nodes=25, width=1200.0, height=300.0,
+            num_flows=6, duration=40.0, pause_time=0.0, seed=29,
+        ))
+        seqnos[protocol] = report.mean_destination_seqno
+    assert seqnos["aodv"] > seqnos["ldr"]
+
+
+def test_metrics_accounting_consistency():
+    report = run_scenario(ScenarioConfig(
+        protocol="ldr", num_nodes=15, width=800.0, height=300.0,
+        num_flows=3, duration=20.0, pause_time=0.0, seed=31,
+    ))
+    c = report.c
+    assert c.data_delivered <= c.data_originated
+    assert c.data_delivered + sum(c.data_dropped.values()) <= c.data_originated + 1
+    assert report.mean_hops >= 1.0 or c.data_delivered == 0

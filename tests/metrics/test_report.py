@@ -1,0 +1,72 @@
+"""Unit tests for derived run metrics."""
+
+from repro.metrics import MetricsCollector, RunReport
+from repro.net.packet import Packet
+
+
+class _Rreq(Packet):
+    kind = "rreq"
+
+
+class _Rrep(Packet):
+    kind = "rrep"
+
+
+def test_empty_run_is_all_zeros():
+    report = RunReport(MetricsCollector())
+    d = report.as_dict()
+    assert d["delivery_ratio"] == 0.0
+    assert d["mean_latency"] == 0.0
+    assert d["network_load"] == 0.0
+    assert d["rreq_load"] == 0.0
+    assert d["rrep_init_per_rreq"] == 0.0
+    assert d["mean_destination_seqno"] == 0.0
+
+
+def test_delivery_ratio():
+    c = MetricsCollector()
+    c.data_originated = 10
+    c.data_delivered = 7
+    assert RunReport(c).delivery_ratio == 0.7
+
+
+def test_latency_and_hops_means():
+    c = MetricsCollector()
+    c.data_delivered = 4
+    c.latency_sum = 2.0
+    c.hop_sum = 12
+    report = RunReport(c)
+    assert report.mean_latency == 0.5
+    assert report.mean_hops == 3.0
+
+
+def test_network_and_rreq_load():
+    c = MetricsCollector()
+    c.data_delivered = 5
+    c.control_transmissions["rreq"] = 10
+    c.control_transmissions["rrep"] = 5
+    report = RunReport(c)
+    assert report.network_load == 3.0
+    assert report.rreq_load == 2.0
+
+
+def test_rrep_ratios():
+    c = MetricsCollector()
+    c.control_initiated["rreq"] = 4
+    c.control_initiated["rrep"] = 6
+    c.usable_rreps_received = 10
+    report = RunReport(c)
+    assert report.rrep_init_per_rreq == 1.5
+    assert report.rrep_recv_per_rreq == 2.5
+
+
+def test_mean_destination_seqno():
+    c = MetricsCollector()
+    c.seqno_final = {1: 2, 2: 4}
+    assert RunReport(c).mean_destination_seqno == 3.0
+
+
+def test_network_load_with_zero_delivered_counts_raw():
+    c = MetricsCollector()
+    c.control_transmissions["hello"] = 7
+    assert RunReport(c).network_load == 7.0

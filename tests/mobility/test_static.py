@@ -1,0 +1,39 @@
+"""Unit tests for static placement topologies."""
+
+import math
+
+from repro.mobility import StaticPlacement
+
+
+def test_positions_are_time_invariant():
+    placement = StaticPlacement({0: (1.0, 2.0)})
+    assert placement.position(0, 0.0) == (1.0, 2.0)
+    assert placement.position(0, 999.0) == (1.0, 2.0)
+
+
+def test_line_topology_spacing():
+    placement = StaticPlacement.line(4, spacing=100.0)
+    assert placement.node_ids() == [0, 1, 2, 3]
+    for i in range(4):
+        assert placement.position(i, 0) == (i * 100.0, 0.0)
+
+
+def test_grid_topology_ids_and_positions():
+    placement = StaticPlacement.grid(2, 3, spacing=50.0)
+    assert len(placement.node_ids()) == 6
+    assert placement.position(0, 0) == (0.0, 0.0)
+    assert placement.position(5, 0) == (100.0, 50.0)  # row 1, col 2
+
+
+def test_star_topology_radius():
+    placement = StaticPlacement.star(6, radius=200.0)
+    assert placement.position(0, 0) == (0.0, 0.0)
+    for leaf in range(1, 7):
+        x, y = placement.position(leaf, 0)
+        assert math.isclose(math.hypot(x, y), 200.0, rel_tol=1e-9)
+
+
+def test_move_teleports_node():
+    placement = StaticPlacement.line(2)
+    placement.move(1, 999.0, 0.0)
+    assert placement.position(1, 0) == (999.0, 0.0)

@@ -1,0 +1,99 @@
+"""Unit and property tests for random-waypoint mobility."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import RandomWaypoint
+
+
+def _model(pause=0.0, seed=1, duration=100.0, max_speed=20.0):
+    return RandomWaypoint(
+        num_nodes=5, width=1000.0, height=300.0, min_speed=1.0,
+        max_speed=max_speed, pause_time=pause, duration=duration,
+        rng=random.Random(seed),
+    )
+
+
+def test_positions_stay_in_terrain():
+    model = _model()
+    for node in range(5):
+        for t in range(0, 100, 3):
+            x, y = model.position(node, float(t))
+            assert -1e-9 <= x <= 1000.0 + 1e-9
+            assert -1e-9 <= y <= 300.0 + 1e-9
+
+
+def test_deterministic_given_seed():
+    a, b = _model(seed=7), _model(seed=7)
+    for t in (0.0, 12.3, 77.7):
+        assert a.position(2, t) == b.position(2, t)
+
+
+def test_different_seeds_differ():
+    a, b = _model(seed=1), _model(seed=2)
+    assert a.position(0, 50.0) != b.position(0, 50.0)
+
+
+def test_speed_bounded_by_max_speed():
+    model = _model(max_speed=20.0)
+    dt = 0.5
+    for node in range(5):
+        prev = model.position(node, 0.0)
+        for step in range(1, 200):
+            cur = model.position(node, step * dt)
+            dist = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+            assert dist <= 20.0 * dt + 1e-6
+            prev = cur
+
+
+def test_initial_pause_holds_position():
+    model = _model(pause=10.0)
+    start = model.position(0, 0.0)
+    assert model.position(0, 5.0) == start
+    assert model.position(0, 9.99) == start
+
+
+def test_zero_pause_moves_immediately():
+    model = _model(pause=0.0)
+    start = model.position(0, 0.0)
+    assert model.position(0, 5.0) != start
+
+
+def test_node_ids():
+    assert _model().node_ids() == [0, 1, 2, 3, 4]
+
+
+def test_position_beyond_duration_is_defined():
+    model = _model(duration=50.0)
+    x, y = model.position(0, 500.0)
+    assert 0.0 <= x <= 1000.0
+    assert 0.0 <= y <= 300.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    pause=st.floats(0.0, 50.0),
+    t=st.floats(0.0, 100.0),
+)
+def test_property_positions_always_in_bounds(seed, pause, t):
+    model = _model(pause=pause, seed=seed)
+    for node in range(5):
+        x, y = model.position(node, t)
+        assert -1e-9 <= x <= 1000.0 + 1e-9
+        assert -1e-9 <= y <= 300.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), t=st.floats(0.0, 99.0))
+def test_property_continuity(seed, t):
+    """Positions move at most max_speed * dt between nearby times."""
+    model = _model(seed=seed)
+    dt = 0.25
+    for node in range(3):
+        ax, ay = model.position(node, t)
+        bx, by = model.position(node, t + dt)
+        assert math.hypot(bx - ax, by - ay) <= 20.0 * dt + 1e-6

@@ -1,0 +1,85 @@
+"""Channel behaviour under mobility and the virtual RTS/CTS."""
+
+from repro.mobility import RandomWaypoint, StaticPlacement
+from repro.net import Node, WirelessChannel
+from repro.net.packet import Frame, Packet
+from repro.sim import Simulator
+
+
+class _Sink:
+    def __init__(self):
+        self.received = []
+
+    def start(self):
+        pass
+
+    def on_packet(self, packet, from_id):
+        self.received.append(packet)
+
+
+def test_neighbors_change_as_nodes_move():
+    sim = Simulator(seed=2)
+    import random
+
+    mobility = RandomWaypoint(num_nodes=6, width=1200.0, height=300.0,
+                              pause_time=0.0, duration=100.0,
+                              rng=random.Random(4))
+    channel = WirelessChannel(sim, mobility)
+    for node_id in mobility.node_ids():
+        Node(sim, node_id, channel)
+    snapshots = set()
+    for t in range(0, 100, 10):
+        sim.scheduler._now = float(t)
+        snapshots.add(tuple(sorted(channel.neighbors_of(0))))
+    assert len(snapshots) > 1  # the neighborhood actually churns
+
+
+def test_virtual_cts_navs_receivers_neighbors():
+    """A hidden terminal (out of the sender's range, within the
+    receiver's) defers during a unicast exchange."""
+    sim = Simulator(seed=1)
+    placement = StaticPlacement({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+    channel = WirelessChannel(sim, placement)
+    nodes = {}
+    for node_id in placement.node_ids():
+        node = Node(sim, node_id, channel)
+        node.mac.receive_fn = _Sink().on_packet
+        nodes[node_id] = node
+    frame = Frame(Packet(), sender=0, link_dst=1)
+    channel.transmit(frame, duration=0.005)
+    # Node 2 cannot hear node 0, but it is the receiver's neighbor: the
+    # virtual CTS must have set its NAV for the frame duration.
+    assert nodes[2].mac._nav >= 0.005
+
+
+def test_broadcast_does_not_cts():
+    sim = Simulator(seed=1)
+    placement = StaticPlacement({0: (0, 0), 1: (200, 0), 2: (400, 0)})
+    channel = WirelessChannel(sim, placement)
+    nodes = {}
+    for node_id in placement.node_ids():
+        node = Node(sim, node_id, channel)
+        node.mac.receive_fn = _Sink().on_packet
+        nodes[node_id] = node
+    channel.transmit(Frame(Packet(), sender=0, link_dst=None), duration=0.005)
+    # No RTS/CTS for broadcast: the hidden node's NAV is untouched.
+    assert nodes[2].mac._nav == 0.0
+
+
+def test_link_break_mid_run_causes_unicast_failures():
+    sim = Simulator(seed=3)
+    placement = StaticPlacement({0: (0, 0), 1: (200, 0)})
+    channel = WirelessChannel(sim, placement)
+    nodes = {i: Node(sim, i, channel) for i in placement.node_ids()}
+    sink = _Sink()
+    nodes[1].mac.receive_fn = sink.on_packet
+    failures = []
+    nodes[0].mac.send(Packet(), next_hop=1,
+                      on_fail=lambda p, nh: failures.append(nh))
+    sim.run(until=0.5)
+    assert sink.received and not failures
+    placement.move(1, 9999.0, 0.0)
+    nodes[0].mac.send(Packet(), next_hop=1,
+                      on_fail=lambda p, nh: failures.append(nh))
+    sim.run(until=5.0)
+    assert failures == [1]

@@ -1,0 +1,74 @@
+"""Tests for the optional gray-zone (lossy edge) channel model."""
+
+from repro.mobility import StaticPlacement
+from repro.net import Node, WirelessChannel
+from repro.net.packet import Frame, Packet
+from repro.sim import Simulator
+
+
+class _Sink:
+    def __init__(self):
+        self.received = []
+
+    def on_packet(self, packet, from_id):
+        self.received.append(packet)
+
+
+def _build(positions, gray_zone):
+    sim = Simulator(seed=9)
+    channel = WirelessChannel(sim, StaticPlacement(positions),
+                              gray_zone=gray_zone)
+    nodes, sinks = {}, {}
+    for node_id in positions:
+        node = Node(sim, node_id, channel)
+        sink = _Sink()
+        node.mac.receive_fn = sink.on_packet
+        nodes[node_id] = node
+        sinks[node_id] = sink
+    return sim, channel, nodes, sinks
+
+
+def test_default_disk_is_crisp():
+    sim, channel, nodes, sinks = _build({0: (0, 0), 1: (274, 0)}, gray_zone=0.0)
+    for _ in range(20):
+        channel.transmit(Frame(Packet(), 0, None), duration=1e-4)
+        sim.run(until=sim.now + 0.01)
+    assert len(sinks[1].received) == 20
+
+
+def test_gray_zone_loses_some_edge_receptions():
+    # 270 m of 275 m range with a 30% gray band: inner edge at 192.5 m,
+    # loss probability ~0.47 per frame.
+    sim, channel, nodes, sinks = _build({0: (0, 0), 1: (270, 0)},
+                                        gray_zone=0.3)
+    for _ in range(60):
+        channel.transmit(Frame(Packet(), 0, None), duration=1e-4)
+        sim.run(until=sim.now + 0.01)
+    received = len(sinks[1].received)
+    assert 5 < received < 55  # lossy but not dead
+
+
+def test_gray_zone_spares_short_links():
+    sim, channel, nodes, sinks = _build({0: (0, 0), 1: (100, 0)},
+                                        gray_zone=0.3)
+    for _ in range(20):
+        channel.transmit(Frame(Packet(), 0, None), duration=1e-4)
+        sim.run(until=sim.now + 0.01)
+    assert len(sinks[1].received) == 20
+
+
+def test_trace_json_roundtrip():
+    import json
+
+    from repro.experiments import ScenarioConfig, build_scenario
+    from repro.trace import TraceRecorder
+
+    scenario = build_scenario(ScenarioConfig(
+        protocol="ldr", num_nodes=8, width=700.0, height=300.0,
+        num_flows=1, duration=5.0, pause_time=0.0, seed=6))
+    trace = TraceRecorder(scenario.sim).install(scenario)
+    scenario.run()
+    payload = json.loads(trace.to_json(kind="tx"))
+    assert payload
+    assert all(row["kind"] == "tx" for row in payload)
+    assert all("t" in row and "node" in row for row in payload)

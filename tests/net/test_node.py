@@ -1,0 +1,67 @@
+"""Unit tests for the Node wiring."""
+
+from repro.metrics import MetricsCollector
+from repro.mobility import StaticPlacement
+from repro.net import Node, WirelessChannel
+from repro.sim import Simulator
+
+
+class _EchoRouting:
+    """Trivial protocol: deliver locally or ignore."""
+
+    def __init__(self, node):
+        self.node = node
+        self.sent = []
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def send_data(self, packet):
+        self.sent.append(packet)
+        if packet.dst == self.node.node_id:
+            self.node.deliver(packet)
+
+    def on_packet(self, packet, from_id):
+        pass
+
+
+def _node(metrics=None):
+    sim = Simulator()
+    channel = WirelessChannel(sim, StaticPlacement({0: (0, 0)}))
+    node = Node(sim, 0, channel, metrics=metrics)
+    routing = _EchoRouting(node)
+    node.install_routing(routing)
+    return sim, node, routing
+
+
+def test_send_data_stamps_packet_and_routes():
+    sim, node, routing = _node()
+    packet = node.send_data(dst=5, size_bytes=256, flow_id=2, seq=9)
+    assert routing.sent == [packet]
+    assert packet.src == 0
+    assert packet.dst == 5
+    assert packet.size_bytes == 256
+    assert packet.created_at == sim.now
+
+
+def test_start_propagates_to_protocol():
+    _, node, routing = _node()
+    node.start()
+    assert routing.started
+
+
+def test_deliver_invokes_app_callback_and_metrics():
+    metrics = MetricsCollector()
+    sim, node, routing = _node(metrics=metrics)
+    got = []
+    node.deliver_fn = got.append
+    packet = node.send_data(dst=0)
+    assert got == [packet]
+    assert metrics.data_originated == 1
+    assert metrics.data_delivered == 1
+
+
+def test_position_queries_mobility():
+    _, node, _ = _node()
+    assert node.position() == (0, 0)

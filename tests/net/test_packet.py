@@ -1,0 +1,38 @@
+"""Unit tests for packets and frames."""
+
+from repro.net.packet import DataPacket, Frame, Packet
+
+
+def test_packet_uids_are_unique():
+    uids = {Packet().uid for _ in range(100)}
+    assert len(uids) == 100
+
+
+def test_data_packet_fields():
+    packet = DataPacket(src=1, dst=2, size_bytes=512, flow_id=7, seq=3,
+                        created_at=1.5)
+    assert packet.src == 1
+    assert packet.dst == 2
+    assert packet.size_bytes == 512
+    assert packet.flow_id == 7
+    assert packet.seq == 3
+    assert packet.created_at == 1.5
+    assert packet.hops == 0
+    assert not packet.is_control
+    assert packet.kind == "data"
+
+
+def test_base_packet_is_control():
+    assert Packet().is_control
+
+
+def test_frame_broadcast_flag():
+    packet = Packet()
+    assert Frame(packet, sender=1, link_dst=None).is_broadcast
+    assert not Frame(packet, sender=1, link_dst=2).is_broadcast
+
+
+def test_frame_repr_mentions_destination():
+    packet = Packet()
+    assert "bcast" in repr(Frame(packet, 1, None))
+    assert "->2" in repr(Frame(packet, 1, 2))

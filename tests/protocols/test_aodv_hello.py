@@ -1,0 +1,62 @@
+"""Tests for AODV's hello-based link sensing mode (GloMoSim-era config)."""
+
+from repro.mobility import StaticPlacement
+from repro.protocols.aodv import AodvConfig, AodvProtocol
+from tests.conftest import Network
+
+
+def _net(count=4, **cfg):
+    config = AodvConfig(use_hello=True, hello_interval=0.5,
+                        allowed_hello_loss=2, **cfg)
+    return Network(AodvProtocol, StaticPlacement.line(count, 200.0),
+                   config=config)
+
+
+def test_hellos_transmitted_periodically():
+    net = _net(3)
+    net.run(5.0)
+    assert net.metrics.control_transmissions.get("hello", 0) >= 3 * 8
+
+
+def test_default_mode_sends_no_hellos():
+    net = Network(AodvProtocol, StaticPlacement.line(3, 200.0))
+    net.run(5.0)
+    assert net.metrics.control_transmissions.get("hello", 0) == 0
+
+
+def test_hello_creates_one_hop_routes():
+    net = _net(3)
+    net.run(3.0)
+    entry = net.protocols[1].table.get(0)
+    assert entry is not None and entry.valid and entry.hops == 1
+
+
+def test_silent_neighbor_triggers_route_invalidation():
+    net = _net(4)
+    net.send(0, 3)
+    net.run(2.0)
+    assert net.protocols[2].table[3].valid
+    # Node 3 vanishes; within allowed_hello_loss * interval node 2 must
+    # notice even with NO data flowing (the point of hellos).
+    net.placement.move(3, 90000.0, 0.0)
+    net.run(4.0)
+    assert not net.protocols[2].table[3].valid
+
+
+def test_delivery_still_works_in_hello_mode():
+    net = _net(4)
+    net.send(0, 3)
+    net.run(3.0)
+    assert len(net.delivered_to(3)) == 1
+
+
+def test_hello_mode_costs_show_in_network_load():
+    from repro import ScenarioConfig, run_scenario
+
+    base = dict(num_nodes=20, width=900.0, height=300.0, num_flows=3,
+                duration=20.0, pause_time=0.0, seed=3)
+    ll = run_scenario(ScenarioConfig(protocol="aodv", **base))
+    hello = run_scenario(ScenarioConfig(
+        protocol="aodv",
+        protocol_config=AodvConfig(use_hello=True), **base))
+    assert hello.network_load > ll.network_load

@@ -1,0 +1,84 @@
+"""Unit tests for the DSR route cache."""
+
+from repro.protocols.dsr.cache import RouteCache
+from repro.sim import Simulator
+
+
+def make_cache(owner=0, lifetime=300.0, max_routes=4):
+    sim = Simulator()
+    return sim, RouteCache(sim, owner, max_routes_per_dst=max_routes,
+                           lifetime=lifetime)
+
+
+def test_add_and_lookup():
+    _, cache = make_cache()
+    cache.add([0, 1, 2, 3])
+    assert cache.lookup(3) == [0, 1, 2, 3]
+
+
+def test_prefixes_are_cached_too():
+    _, cache = make_cache()
+    cache.add([0, 1, 2, 3])
+    assert cache.lookup(1) == [0, 1]
+    assert cache.lookup(2) == [0, 1, 2]
+
+
+def test_lookup_returns_shortest():
+    _, cache = make_cache()
+    cache.add([0, 1, 2, 5])
+    cache.add([0, 4, 5])
+    assert cache.lookup(5) == [0, 4, 5]
+
+
+def test_route_must_start_at_owner():
+    _, cache = make_cache(owner=0)
+    cache.add([1, 2, 3])  # not ours: ignored
+    assert cache.lookup(3) is None
+
+
+def test_trivial_routes_ignored():
+    _, cache = make_cache()
+    cache.add([0])
+    assert len(cache) == 0
+
+
+def test_remove_link_prunes_both_directions():
+    _, cache = make_cache()
+    cache.add([0, 1, 2, 3])
+    cache.add([0, 4, 3])
+    removed = cache.remove_link(2, 1)  # reversed order on purpose
+    assert removed >= 1
+    assert cache.lookup(3) == [0, 4, 3]
+    assert cache.lookup(2) is None
+
+
+def test_remove_link_unrelated_is_noop():
+    _, cache = make_cache()
+    cache.add([0, 1, 2])
+    cache.remove_link(7, 8)
+    assert cache.lookup(2) == [0, 1, 2]
+
+
+def test_expiry():
+    sim, cache = make_cache(lifetime=5.0)
+    cache.add([0, 1, 2])
+    sim.run(until=10.0)
+    assert cache.lookup(2) is None
+    assert len(cache) == 0
+
+
+def test_max_routes_per_destination_keeps_shortest():
+    _, cache = make_cache(max_routes=2)
+    cache.add([0, 1, 2, 3, 9])
+    cache.add([0, 4, 5, 9])
+    cache.add([0, 6, 9])
+    assert cache.lookup(9) == [0, 6, 9]
+    entries = cache._routes[9]
+    assert len(entries) == 2
+
+
+def test_duplicate_add_does_not_multiply():
+    _, cache = make_cache()
+    cache.add([0, 1, 2])
+    cache.add([0, 1, 2])
+    assert len(cache._routes[2]) == 1

@@ -1,0 +1,86 @@
+"""Tests for DSR's overhearing optimizations (promiscuous mode)."""
+
+from repro.mobility import StaticPlacement
+from repro.protocols.dsr import DsrConfig, DsrProtocol
+from tests.conftest import Network
+
+
+def test_promiscuous_learning_from_overheard_data():
+    """Overhearing a data packet whose source route contains us teaches us
+    the usable suffix, even though we did not relay the packet."""
+    from repro.net.packet import DataPacket
+
+    placement = StaticPlacement.line(4, 200.0)
+    net = Network(DsrProtocol, placement,
+                  config=DsrConfig(promiscuous_learning=True))
+    bystander = net.protocols[2]
+    assert bystander.cache.lookup(3) is None
+    packet = DataPacket(src=0, dst=3, size_bytes=64, flow_id=0, seq=0,
+                        created_at=0.0)
+    packet.source_route = [0, 1, 2, 3]
+    bystander._on_overhear(packet, sender=1, link_dst=2)
+    assert bystander.cache.lookup(3) == [2, 3]
+
+
+def test_promiscuous_rrep_overhearing_teaches_suffix():
+    from repro.protocols.dsr.messages import DsrRrep
+
+    placement = StaticPlacement.line(4, 200.0)
+    net = Network(DsrProtocol, placement,
+                  config=DsrConfig(promiscuous_learning=True))
+    bystander = net.protocols[1]
+    rrep = DsrRrep([0, 1, 2, 3], [3, 2, 1, 0])
+    bystander._on_overhear(rrep, sender=2, link_dst=0)
+    assert bystander.cache.lookup(3) == [1, 2, 3]
+
+
+def test_route_shortening_issues_gratuitous_rrep():
+    """C overhears A's transmission while the route says A->B->C: B is
+    unnecessary, so C tells the source the shorter route."""
+    # A line where all three nodes are mutually in range (spacing 130 m),
+    # but seed the source with an artificially long cached route.
+    placement = StaticPlacement({0: (0, 0), 1: (130, 0), 2: (260, 0)})
+    net = Network(DsrProtocol, placement,
+                  config=DsrConfig(route_shortening=True))
+    protocol = net.protocols[0]
+    protocol.cache.add([0, 1, 2])  # long route even though 2 is adjacent
+    rreps_before = net.metrics.control_initiated.get("rrep", 0)
+    net.send(0, 2)
+    net.run(2.0)
+    assert len(net.delivered_to(2)) == 1
+    # Node 2 overheard node 0's transmission toward 1 and issued a
+    # gratuitous RREP with the shortened route [0, 2].
+    assert net.metrics.control_initiated.get("rrep", 0) > rreps_before
+    assert net.protocols[0].cache.lookup(2) == [0, 2]
+
+
+def test_route_shortening_rate_limited():
+    placement = StaticPlacement({0: (0, 0), 1: (130, 0), 2: (260, 0)})
+    net = Network(DsrProtocol, placement,
+                  config=DsrConfig(route_shortening=True,
+                                   gratuitous_rrep_holdoff=100.0))
+    protocol = net.protocols[0]
+    protocol.cache.add([0, 1, 2])
+    net.send(0, 2)
+    net.run(1.0)
+    rreps_after_first = net.metrics.control_initiated.get("rrep", 0)
+    # Force the long route again and resend quickly.
+    protocol.cache._routes.clear()
+    protocol.cache.add([0, 1, 2])
+    net.send(0, 2)
+    net.run(1.0)
+    assert net.metrics.control_initiated.get("rrep", 0) == rreps_after_first
+
+
+def test_optimizations_disabled():
+    placement = StaticPlacement({0: (0, 0), 1: (130, 0), 2: (260, 0)})
+    net = Network(DsrProtocol, placement,
+                  config=DsrConfig(promiscuous_learning=False,
+                                   route_shortening=False))
+    protocol = net.protocols[0]
+    protocol.cache.add([0, 1, 2])
+    net.send(0, 2)
+    net.run(2.0)
+    # No gratuitous reply: the long route stays.
+    assert net.protocols[0].cache.lookup(2) == [0, 1, 2]
+    assert net.protocols[2].mac.promiscuous_fn is None

@@ -1,0 +1,67 @@
+"""Unit tests for baseline-protocol message structures."""
+
+from repro.protocols.aodv.messages import AodvRerr, AodvRrep, AodvRreq
+from repro.protocols.dsr.messages import DsrRerr, DsrRrep, DsrRreq
+from repro.protocols.olsr.messages import OlsrHello, OlsrTc
+
+
+def test_aodv_rreq_copy_independent():
+    rreq = AodvRreq(src=1, src_seq=5, rreq_id=2, dst=9, dst_seq=3,
+                    unknown_seq=False, hop_count=1, ttl=4)
+    clone = rreq.copy()
+    clone.hop_count += 1
+    clone.ttl -= 1
+    assert (rreq.hop_count, rreq.ttl) == (1, 4)
+    assert clone.kind == "rreq" and clone.is_control
+
+
+def test_aodv_rrep_fields():
+    rrep = AodvRrep(src=1, dst=9, dst_seq=7, hop_count=2, lifetime=3.0)
+    clone = rrep.copy()
+    assert (clone.dst, clone.dst_seq, clone.hop_count) == (9, 7, 2)
+
+
+def test_aodv_rerr_size_scales():
+    assert AodvRerr([(1, 2), (3, 4)]).size_bytes > AodvRerr([(1, 2)]).size_bytes
+
+
+def test_dsr_rreq_route_accumulation_is_copied():
+    rreq = DsrRreq(src=0, rreq_id=1, target=5, route=[0], ttl=8)
+    clone = rreq.copy()
+    clone.route.append(1)
+    assert rreq.route == [0]
+    assert clone.size_bytes >= rreq.size_bytes
+
+
+def test_dsr_rreq_size_grows_with_route():
+    short = DsrRreq(src=0, rreq_id=1, target=5, route=[0])
+    long = DsrRreq(src=0, rreq_id=1, target=5, route=[0, 1, 2, 3])
+    assert long.size_bytes > short.size_bytes
+
+
+def test_dsr_rrep_holds_route_and_reply_path():
+    rrep = DsrRrep([0, 1, 2], [2, 1, 0])
+    clone = rrep.copy()
+    clone.reply_path.pop()
+    assert rrep.reply_path == [2, 1, 0]
+
+
+def test_dsr_rerr_identifies_link():
+    rerr = DsrRerr(3, 4, [3, 2, 1, 0])
+    assert (rerr.from_node, rerr.to_node) == (3, 4)
+    assert rerr.copy().reply_path == [3, 2, 1, 0]
+
+
+def test_olsr_hello_size_scales_with_neighbors():
+    small = OlsrHello(0, [1], [], set())
+    big = OlsrHello(0, [1, 2, 3, 4], [5, 6], {1, 2})
+    assert big.size_bytes > small.size_bytes
+    assert big.kind == "hello"
+
+
+def test_olsr_tc_copy_preserves_ansn():
+    tc = OlsrTc(origin=3, ansn=12, selectors=[1, 2], ttl=10)
+    clone = tc.copy()
+    clone.ttl -= 1
+    assert tc.ttl == 10
+    assert clone.ansn == 12 and clone.selectors == [1, 2]

@@ -1,0 +1,108 @@
+"""Behavioural tests for the OLSR baseline."""
+
+from repro.mobility import StaticPlacement
+from repro.protocols.olsr import OlsrConfig, OlsrProtocol
+from tests.conftest import Network
+
+
+def _line(count=4, config=None, seed=1):
+    return Network(OlsrProtocol, StaticPlacement.line(count, 200.0),
+                   config=config, seed=seed)
+
+
+def test_hellos_establish_symmetric_links():
+    net = _line(3)
+    net.run(8.0)
+    assert net.protocols[1].neighbors.symmetric_neighbors(net.sim.now) \
+        and set(net.protocols[1].neighbors.symmetric_neighbors(net.sim.now)) == {0, 2}
+
+
+def test_tc_messages_build_topology():
+    net = _line(4)
+    net.run(15.0)
+    # Node 0 must know a route to 3 (learned via TCs flooded through MPRs).
+    assert net.protocols[0].routes.get(3) is not None
+
+
+def test_routes_are_shortest_paths():
+    net = Network(OlsrProtocol, StaticPlacement.grid(3, 3, 200.0))
+    net.run(15.0)
+    routes = net.protocols[0].routes
+    # Manhattan distances on the grid (only orthogonal links at 200 m
+    # spacing with 275 m range).
+    assert routes[1][1] == 1
+    assert routes[4][1] == 2
+    assert routes[8][1] == 4
+
+
+def test_data_delivery_after_convergence():
+    net = _line(4)
+    net.run(12.0)
+    net.send(0, 3)
+    net.run(2.0)
+    assert len(net.delivered_to(3)) == 1
+
+
+def test_data_before_convergence_dropped():
+    net = _line(4)
+    net.send(0, 3)  # no routes yet: proactive protocols don't buffer
+    net.run(1.0)
+    assert net.delivered_to(3) == []
+    assert net.metrics.data_dropped["no_route"] >= 1
+
+
+def test_control_overhead_is_periodic():
+    net = _line(4, config=OlsrConfig(hello_interval=1.0, tc_interval=2.0))
+    net.run(20.0)
+    hellos = net.metrics.control_transmissions.get("hello", 0)
+    assert hellos >= 4 * 15  # 4 nodes, ~20 hellos each minus startup jitter
+
+
+def test_mprs_selected_on_line():
+    net = _line(4)
+    net.run(10.0)
+    # On a line, middle nodes are MPRs for their neighbors.
+    assert 1 in net.protocols[0].neighbors.mprs
+    assert 2 in net.protocols[3].neighbors.mprs
+
+
+def test_tc_only_from_selected_mprs():
+    net = _line(4)
+    net.run(15.0)
+    # End nodes are nobody's MPR: they never originate TCs.
+    # (TC count is tracked via control_initiated per node indirectly;
+    # check their selector sets instead.)
+    assert net.protocols[0].neighbors.selectors(net.sim.now) == []
+    assert net.protocols[1].neighbors.selectors(net.sim.now) != []
+
+
+def test_link_break_recovery():
+    placement = StaticPlacement({0: (0, 0), 1: (200, 0), 2: (400, 0),
+                                 3: (200, 200)})
+    net = Network(OlsrProtocol, placement)
+    net.run(15.0)
+    assert net.protocols[0].routes.get(2) is not None
+    # Break node 1 (the relay); route must re-form via node 3 eventually
+    # ... 0-3 distance is 283 > 275: instead move 3 to bridge 0 and 2.
+    net.placement.move(1, 50000.0, 0.0)
+    net.placement.move(3, 200.0, 100.0)
+    net.run(20.0)
+    route = net.protocols[0].routes.get(2)
+    assert route is not None
+    assert route[0] == 3
+
+
+def test_jitter_queue_in_use():
+    net = _line(2, config=OlsrConfig(max_jitter=0.015))
+    proto = net.protocols[0]
+    assert proto.jitter_queue.max_jitter == 0.015
+
+
+def test_duplicate_tc_not_reforwarded():
+    net = _line(5)
+    net.run(30.0)
+    tc_tx = net.metrics.control_transmissions.get("tc", 0)
+    tc_init = net.metrics.control_initiated.get("tc", 0)
+    # MPR flooding bounds retransmissions: every initiated TC is forwarded
+    # at most once per MPR node, far below full flooding by all 5 nodes.
+    assert tc_tx <= tc_init * 4

@@ -1,0 +1,102 @@
+"""Unit and property tests for OLSR neighbor state and MPR selection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.olsr.messages import OlsrHello
+from repro.protocols.olsr.neighbor import NeighborState
+
+
+def _hello(origin, sym=(), heard=(), mprs=()):
+    return OlsrHello(origin, list(sym), list(heard), set(mprs))
+
+
+def test_link_becomes_symmetric_after_mutual_hello():
+    state = NeighborState(owner=0)
+    # Neighbor 1's hello doesn't mention us yet: heard only.
+    state.on_hello(_hello(1), now=0.0, hold_time=6.0)
+    assert state.symmetric_neighbors(0.1) == []
+    assert state.heard_only_neighbors(0.1) == [1]
+    # Now neighbor 1 lists us: symmetric.
+    state.on_hello(_hello(1, heard=[0]), now=1.0, hold_time=6.0)
+    assert state.symmetric_neighbors(1.1) == [1]
+
+
+def test_links_expire_after_hold_time():
+    state = NeighborState(owner=0)
+    state.on_hello(_hello(1, sym=[0]), now=0.0, hold_time=6.0)
+    assert state.symmetric_neighbors(5.0) == [1]
+    changed = state.expire(7.0)
+    assert changed
+    assert state.symmetric_neighbors(7.0) == []
+
+
+def test_mpr_selector_tracking():
+    state = NeighborState(owner=0)
+    state.on_hello(_hello(1, sym=[0], mprs=[0]), now=0.0, hold_time=6.0)
+    assert state.selectors(1.0) == [1]
+    # Next hello without us in the MPR set clears it.
+    state.on_hello(_hello(1, sym=[0]), now=2.0, hold_time=6.0)
+    assert state.selectors(2.5) == []
+
+
+def test_mpr_selection_covers_two_hop_neighborhood():
+    state = NeighborState(owner=0)
+    # Neighbors 1 and 2; 1 reaches {10, 11}, 2 reaches {11, 12}.
+    state.on_hello(_hello(1, sym=[0, 10, 11]), now=0.0, hold_time=6.0)
+    state.on_hello(_hello(2, sym=[0, 11, 12]), now=0.0, hold_time=6.0)
+    mprs = state.select_mprs(1.0)
+    covered = set()
+    for m in mprs:
+        covered |= state.two_hop[m][0]
+    assert {10, 11, 12} <= covered
+
+
+def test_sole_provider_is_mandatory_mpr():
+    state = NeighborState(owner=0)
+    state.on_hello(_hello(1, sym=[0, 10]), now=0.0, hold_time=6.0)
+    state.on_hello(_hello(2, sym=[0, 10, 11]), now=0.0, hold_time=6.0)
+    mprs = state.select_mprs(1.0)
+    assert 2 in mprs  # only node 2 covers 11
+
+
+def test_no_two_hop_nodes_no_mprs():
+    state = NeighborState(owner=0)
+    state.on_hello(_hello(1, sym=[0]), now=0.0, hold_time=6.0)
+    assert state.select_mprs(1.0) == set()
+
+
+def test_greedy_prefers_high_coverage():
+    state = NeighborState(owner=0)
+    state.on_hello(_hello(1, sym=[0, 10, 11, 12]), now=0.0, hold_time=6.0)
+    state.on_hello(_hello(2, sym=[0, 10]), now=0.0, hold_time=6.0)
+    state.on_hello(_hello(3, sym=[0, 11]), now=0.0, hold_time=6.0)
+    mprs = state.select_mprs(1.0)
+    assert mprs == {1}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.dictionaries(
+        keys=st.integers(1, 8),
+        values=st.sets(st.integers(10, 25), max_size=6),
+        max_size=8,
+    )
+)
+def test_property_mpr_cover(data):
+    """Whatever the two-hop structure, selected MPRs cover every two-hop
+    node that is reachable through some symmetric neighbor."""
+    state = NeighborState(owner=0)
+    for neighbor, two_hop in data.items():
+        state.on_hello(_hello(neighbor, sym=[0] + sorted(two_hop)),
+                       now=0.0, hold_time=6.0)
+    mprs = state.select_mprs(1.0)
+    sym = set(state.symmetric_neighbors(1.0))
+    must_cover = set()
+    for neighbor, two_hop in data.items():
+        must_cover |= {n for n in two_hop if n not in sym}
+    covered = set()
+    for m in mprs:
+        covered |= {n for n in state.two_hop[m][0] if n not in sym}
+    assert must_cover <= covered
+    assert mprs <= sym

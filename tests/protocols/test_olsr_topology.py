@@ -1,0 +1,56 @@
+"""OLSR topology-table maintenance: ANSN replacement, expiry, dedup."""
+
+from repro.mobility import StaticPlacement
+from repro.protocols.olsr import OlsrConfig, OlsrProtocol
+from repro.protocols.olsr.messages import OlsrTc
+from tests.conftest import Network
+
+
+def _protocol(config=None):
+    net = Network(OlsrProtocol, StaticPlacement.line(2, 200.0),
+                  config=config)
+    return net, net.protocols[0]
+
+
+def test_tc_installs_topology_entries():
+    net, protocol = _protocol()
+    protocol.on_packet(OlsrTc(origin=7, ansn=1, selectors=[8, 9]), from_id=1)
+    assert (7, 8) in protocol.topology
+    assert (7, 9) in protocol.topology
+
+
+def test_newer_ansn_replaces_older_advertisement():
+    net, protocol = _protocol()
+    protocol.on_packet(OlsrTc(origin=7, ansn=1, selectors=[8]), from_id=1)
+    protocol.on_packet(OlsrTc(origin=7, ansn=2, selectors=[9]), from_id=1)
+    assert (7, 8) not in protocol.topology
+    assert (7, 9) in protocol.topology
+
+
+def test_duplicate_tc_ignored():
+    net, protocol = _protocol()
+    tc = OlsrTc(origin=7, ansn=3, selectors=[8])
+    protocol.on_packet(tc, from_id=1)
+    entry = protocol.topology[(7, 8)]
+    protocol.on_packet(tc.copy(), from_id=1)
+    assert protocol.topology[(7, 8)] is entry  # untouched
+
+
+def test_topology_expiry_removes_edges_from_routes():
+    net, protocol = _protocol(OlsrConfig(topology_hold_time=1.0))
+    protocol.on_packet(OlsrTc(origin=1, ansn=1, selectors=[42]), from_id=1)
+    # Give node 0 a symmetric link to 1 so the graph reaches 42 via 1.
+    from repro.protocols.olsr.messages import OlsrHello
+
+    protocol.on_packet(OlsrHello(1, [0], [], set()), from_id=1)
+    net.run(0.5)
+    assert protocol.routes.get(42) is not None
+    net.run(2.0)
+    protocol._recompute()
+    assert protocol.routes.get(42) is None
+
+
+def test_own_tc_ignored_on_reflection():
+    net, protocol = _protocol()
+    protocol.on_packet(OlsrTc(origin=0, ansn=1, selectors=[5]), from_id=1)
+    assert (0, 5) not in protocol.topology

@@ -1,0 +1,51 @@
+"""Tests for the omniscient oracle baseline."""
+
+from repro import ScenarioConfig, run_scenario
+from repro.mobility import StaticPlacement
+from repro.protocols.oracle import OracleProtocol
+from tests.conftest import Network
+
+
+def test_oracle_delivers_immediately_no_control():
+    net = Network(OracleProtocol, StaticPlacement.line(5, 200.0))
+    net.send(0, 4)
+    net.run(1.0)
+    assert len(net.delivered_to(4)) == 1
+    assert sum(net.metrics.control_transmissions.values()) == 0
+
+
+def test_oracle_uses_shortest_path():
+    net = Network(OracleProtocol, StaticPlacement.grid(3, 3, 200.0))
+    net.send(0, 8)
+    net.run(1.0)
+    delivered = net.delivered_to(8)
+    assert delivered and delivered[0].hops == 4  # manhattan distance
+
+
+def test_oracle_detects_partition():
+    placement = StaticPlacement({0: (0, 0), 1: (200, 0), 2: (9000, 0)})
+    net = Network(OracleProtocol, placement)
+    net.send(0, 2)
+    net.run(1.0)
+    assert net.metrics.data_dropped["partitioned"] == 1
+
+
+def test_oracle_tracks_mobility_instantly():
+    net = Network(OracleProtocol, StaticPlacement.line(4, 200.0))
+    net.send(0, 3)
+    net.run(1.0)
+    # Teleport node 3 next to node 0: next packet goes direct.
+    net.placement.move(3, 100.0, 0.0)
+    net.send(0, 3)
+    net.run(1.0)
+    delivered = net.delivered_to(3)
+    assert len(delivered) == 2
+    assert delivered[1].hops == 1
+
+
+def test_oracle_bounds_real_protocols():
+    base = dict(num_nodes=20, width=900.0, height=300.0, num_flows=3,
+                duration=20.0, pause_time=0.0, seed=3)
+    oracle = run_scenario(ScenarioConfig(protocol="oracle", **base))
+    ldr = run_scenario(ScenarioConfig(protocol="ldr", **base))
+    assert oracle.delivery_ratio >= ldr.delivery_ratio - 0.02

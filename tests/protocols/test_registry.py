@@ -1,0 +1,44 @@
+"""Cross-protocol consistency: everything in the registry honours the
+RoutingProtocol contract and basic conservation laws."""
+
+import pytest
+
+from repro import ScenarioConfig, run_scenario
+from repro.experiments.scenario import PROTOCOLS
+
+ALL_NAMES = sorted(PROTOCOLS)
+
+
+def test_every_registry_entry_is_well_formed():
+    for name, (protocol_cls, config_factory) in PROTOCOLS.items():
+        assert callable(config_factory)
+        config = config_factory()
+        assert config is not None
+        # 'dsr7' intentionally reports name 'dsr' (same engine).
+        assert protocol_cls.name in (name, "dsr")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_protocol_runs_a_tiny_scenario(name):
+    report = run_scenario(ScenarioConfig(
+        protocol=name, num_nodes=12, width=800.0, height=300.0,
+        num_flows=2, duration=12.0, pause_time=0.0, seed=21,
+    ))
+    c = report.c
+    # Conservation: delivered + dropped + queue-drops never exceeds
+    # originated plus in-flight slack.
+    assert c.data_delivered <= c.data_originated
+    assert 0.0 <= report.delivery_ratio <= 1.0
+    assert report.mean_latency >= 0.0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_successor_api_none_for_unknown_destination(name):
+    from repro.experiments import build_scenario
+
+    scenario = build_scenario(ScenarioConfig(
+        protocol=name, num_nodes=6, width=500.0, height=300.0,
+        num_flows=1, duration=5.0, pause_time=0.0, seed=2,
+    ))
+    protocol = scenario.protocols[0]
+    assert protocol.successor(999) is None

@@ -1,0 +1,41 @@
+"""Property tests on TORA's height ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+heights = st.tuples(
+    st.floats(0, 100),      # tau (reference level time)
+    st.integers(0, 20),     # oid
+    st.integers(0, 1),      # r
+    st.integers(0, 50),     # delta
+    st.integers(0, 20),     # node id
+)
+
+
+@given(heights, heights)
+def test_height_comparison_is_total_order(a, b):
+    assert (a < b) + (a > b) + (a == b) == 1
+
+
+@given(heights)
+def test_new_reference_level_dominates_older(h):
+    """A reference level taken at a later time beats any height from an
+    earlier level — the property link reversal relies on."""
+    tau, oid, r, delta, node = h
+    newer = (tau + 1.0, node, 0, 0, node)
+    assert newer > h
+
+
+@given(heights)
+def test_delta_orders_within_level(h):
+    tau, oid, r, delta, node = h
+    downstream = (tau, oid, r, delta, node)
+    upstream = (tau, oid, r, delta + 1, node)
+    assert upstream > downstream
+
+
+def test_zero_height_is_global_minimum():
+    zero = (0.0, 0, 0, 0, 0)
+    assert zero <= (0.0, 0, 0, 0, 1)
+    assert zero < (0.0, 0, 0, 1, 0)
+    assert zero < (5.0, 1, 0, 0, 0)

@@ -1,0 +1,71 @@
+"""Unit tests for the routing base layer (packet buffer, helpers)."""
+
+from repro.routing.base import PacketBuffer
+from repro.sim import Simulator
+
+
+class _Pkt:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def test_buffer_push_and_pop_all():
+    sim = Simulator()
+    buf = PacketBuffer(sim)
+    a, b = _Pkt("a"), _Pkt("b")
+    assert buf.push(5, a)
+    assert buf.push(5, b)
+    assert buf.pop_all(5) == [a, b]
+    assert buf.pop_all(5) == []
+
+
+def test_buffer_is_per_destination():
+    sim = Simulator()
+    buf = PacketBuffer(sim)
+    a, b = _Pkt("a"), _Pkt("b")
+    buf.push(1, a)
+    buf.push(2, b)
+    assert buf.pop_all(1) == [a]
+    assert buf.pop_all(2) == [b]
+
+
+def test_buffer_capacity():
+    sim = Simulator()
+    buf = PacketBuffer(sim, capacity_per_dst=2)
+    assert buf.push(1, _Pkt(0))
+    assert buf.push(1, _Pkt(1))
+    assert not buf.push(1, _Pkt(2))
+    assert buf.pending(1) == 2
+
+
+def test_buffer_drop_all():
+    sim = Simulator()
+    buf = PacketBuffer(sim)
+    pkts = [_Pkt(i) for i in range(3)]
+    for p in pkts:
+        buf.push(9, p)
+    assert buf.drop_all(9) == pkts
+    assert buf.pending(9) == 0
+
+
+def test_buffer_ages_out_stale_packets():
+    sim = Simulator()
+    buf = PacketBuffer(sim, max_age=10.0)
+    old = _Pkt("old")
+    buf.push(3, old)
+    sim.run(until=20.0)
+    fresh = _Pkt("fresh")
+    buf.push(3, fresh)
+    assert buf.pop_all(3) == [fresh]
+
+
+def test_buffer_destinations():
+    sim = Simulator()
+    buf = PacketBuffer(sim)
+    buf.push(1, _Pkt("x"))
+    buf.push(4, _Pkt("y"))
+    assert sorted(buf.destinations()) == [1, 4]
+
+
+def test_pending_unknown_destination_is_zero():
+    assert PacketBuffer(Simulator()).pending(42) == 0

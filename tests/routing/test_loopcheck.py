@@ -1,0 +1,122 @@
+"""Unit tests for the successor-graph loop auditor."""
+
+import pytest
+
+from repro.routing.loopcheck import LoopChecker, LoopError
+
+
+class _FakeProtocol:
+    """Scriptable routing table for auditing."""
+
+    def __init__(self, node_id, successors=None, metrics=None):
+        self.node_id = node_id
+        self._successors = successors or {}
+        self._metrics = metrics or {}
+        self.table_change_hook = None
+
+    def successor(self, dst):
+        return self._successors.get(dst)
+
+    def route_metric(self, dst):
+        return self._metrics.get(dst)
+
+
+def test_acyclic_tree_passes():
+    # 1 -> 2 -> 3 -> dst(0); 4 -> 2.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}),
+        _FakeProtocol(2, {0: 3}),
+        _FakeProtocol(3, {0: 0}),
+        _FakeProtocol(4, {0: 2}),
+    ]
+    checker = LoopChecker(protos, check_ordering=False)
+    checker.check_destination(0)
+    assert checker.checks_run == 1
+
+
+def test_two_node_loop_detected():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}),
+        _FakeProtocol(2, {0: 1}),
+    ]
+    checker = LoopChecker(protos, check_ordering=False)
+    with pytest.raises(LoopError):
+        checker.check_destination(0)
+
+
+def test_three_node_loop_detected():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}),
+        _FakeProtocol(2, {0: 3}),
+        _FakeProtocol(3, {0: 1}),
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=False).check_destination(0)
+
+
+def test_self_loop_detected():
+    protos = [_FakeProtocol(0), _FakeProtocol(1, {0: 1})]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=False).check_destination(0)
+
+
+def test_dangling_successor_is_not_a_loop():
+    protos = [_FakeProtocol(0), _FakeProtocol(1, {0: 99})]
+    LoopChecker(protos, check_ordering=False).check_destination(0)
+
+
+def test_ordering_violation_equal_sn_nondecreasing_fd():
+    # 1 -> 2 with equal sequence numbers but fd(2) >= fd(1): violation.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (5, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 3, 3)}),
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_ordering_ok_with_decreasing_fd():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (5, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 2, 2)}),
+    ]
+    LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_ordering_ok_with_fresher_downstream_sn():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (5, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (6, 9, 9)}),  # newer sn resets fd
+    ]
+    LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_ordering_violation_older_downstream_sn():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (6, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 1, 1)}),
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_install_wires_hooks():
+    protos = [_FakeProtocol(0), _FakeProtocol(1, {0: 0})]
+    checker = LoopChecker(protos, check_ordering=False).install()
+    assert all(p.table_change_hook is not None for p in protos)
+    protos[1].table_change_hook(protos[1], 0)
+    assert checker.checks_run == 1
+
+
+def test_check_all_covers_destinations():
+    protos = [_FakeProtocol(0), _FakeProtocol(1, {0: 0, 2: 0}), _FakeProtocol(2)]
+    checker = LoopChecker(protos, check_ordering=False)
+    checker.check_all([0, 2])
+    assert checker.checks_run == 2

@@ -1,0 +1,43 @@
+"""Unit tests for the Simulator façade."""
+
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 1.5
+
+
+def test_schedule_at_absolute():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_stream_shortcut_is_deterministic():
+    a = Simulator(seed=4).stream("x").random()
+    b = Simulator(seed=4).stream("x").random()
+    assert a == b
+
+
+def test_seed_attribute_retained():
+    assert Simulator(seed=17).seed == 17
+
+
+def test_run_until_does_not_execute_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, 1)
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0

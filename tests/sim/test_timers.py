@@ -1,0 +1,72 @@
+"""Unit tests for the restartable one-shot timer."""
+
+import pytest
+
+from repro.sim import Simulator, Timer
+
+
+def test_timer_fires_after_delay():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(1))
+    timer.start(2.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_restart_replaces_expiry():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.schedule(1.0, lambda: timer.restart(5.0))
+    sim.run()
+    assert fired == [6.0]
+
+
+def test_double_start_raises():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(1.0)
+    with pytest.raises(RuntimeError):
+        timer.start(1.0)
+
+
+def test_armed_and_expires_at():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    assert timer.expires_at is None
+    timer.start(3.0)
+    assert timer.armed
+    assert timer.expires_at == 3.0
+    sim.run()
+    assert not timer.armed
+
+
+def test_timer_can_start_again_after_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.run()
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_cancel_idle_timer_is_noop():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.cancel()
+    assert not timer.armed

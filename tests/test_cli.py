@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+TINY = ["--nodes", "10", "--flows", "2", "--duration", "6", "--seed", "3"]
+
+
+def test_run_prints_json(capsys):
+    assert main(["run", "--protocol", "ldr"] + TINY) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert 0.0 <= payload["delivery_ratio"] <= 1.0
+    assert "network_load" in payload
+
+
+def test_compare_prints_rows(capsys):
+    assert main(["compare", "--protocols", "ldr,aodv"] + TINY) == 0
+    out = capsys.readouterr().out
+    assert "ldr" in out and "aodv" in out
+
+
+def test_compare_rejects_unknown_protocol(capsys):
+    assert main(["compare", "--protocols", "ospf"] + TINY) == 2
+
+
+def test_audit_reports_loop_freedom(capsys):
+    assert main(["audit"] + TINY) == 0
+    out = capsys.readouterr().out
+    assert "YES" in out
+
+
+def test_connectivity_prints_bound(capsys):
+    assert main(["connectivity", "--samples", "3"] + TINY) == 0
+    out = capsys.readouterr().out
+    assert "connectivity" in out
+
+
+def test_figure_runs_tiny(capsys):
+    assert main(["figure", "fig2", "--duration", "5", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "ldr" in out
+
+
+def test_table1_runs_tiny(capsys):
+    assert main(["table1", "--flows", "2", "--duration", "4",
+                 "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "LDR" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,11 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import repro.sim.events
+
+
+def test_events_doctests():
+    results = doctest.testmod(repro.sim.events)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,106 @@
+"""Unit tests for CBR traffic generation."""
+
+from repro.sim import Simulator
+from repro.traffic import CbrFlow, TrafficGenerator
+
+
+class _FakeNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.sent = []
+
+    def send_data(self, dst, size_bytes=512, flow_id=0, seq=0):
+        self.sent.append((dst, size_bytes, flow_id, seq))
+
+
+def _nodes(count):
+    return {i: _FakeNode(i) for i in range(count)}
+
+
+def test_flow_sends_at_rate():
+    sim = Simulator()
+    nodes = _nodes(2)
+    CbrFlow(sim, nodes, src=0, dst=1, rate=4.0, start=0.0, end=10.0)
+    sim.run(until=20.0)
+    # 4 pps for 10 s = 40 packets (first at t=0, last before t=10).
+    assert len(nodes[0].sent) == 40
+
+
+def test_flow_packet_sequence_numbers_increment():
+    sim = Simulator()
+    nodes = _nodes(2)
+    CbrFlow(sim, nodes, src=0, dst=1, rate=2.0, start=0.0, end=3.0)
+    sim.run(until=10.0)
+    seqs = [seq for (_, _, _, seq) in nodes[0].sent]
+    assert seqs == list(range(len(seqs)))
+
+
+def test_flow_respects_start_time():
+    sim = Simulator()
+    nodes = _nodes(2)
+    CbrFlow(sim, nodes, src=0, dst=1, rate=1.0, start=5.0, end=8.0)
+    sim.run(until=4.0)
+    assert nodes[0].sent == []
+    sim.run(until=20.0)
+    assert len(nodes[0].sent) == 3
+
+
+def test_flow_stop():
+    sim = Simulator()
+    nodes = _nodes(2)
+    flow = CbrFlow(sim, nodes, src=0, dst=1, rate=1.0, start=0.0, end=100.0)
+    sim.schedule(2.5, flow.stop)
+    sim.run(until=50.0)
+    assert len(nodes[0].sent) == 3  # t = 0, 1, 2
+
+
+def test_flow_on_finish_called():
+    sim = Simulator()
+    nodes = _nodes(2)
+    finished = []
+    flow = CbrFlow(sim, nodes, src=0, dst=1, rate=1.0, start=0.0, end=2.0)
+    flow.on_finish = finished.append
+    sim.run(until=10.0)
+    assert finished == [flow]
+
+
+def test_generator_keeps_flow_count():
+    sim = Simulator(seed=3)
+    nodes = _nodes(10)
+    gen = TrafficGenerator(sim, nodes, num_flows=4, rate=2.0,
+                           mean_flow_length=5.0, duration=60.0)
+    sim.run(until=60.0)
+    # Short flows (mean 5 s over 60 s) force many replacements.
+    assert len(gen.flows) > 4
+    total_sent = sum(len(n.sent) for n in nodes.values())
+    assert total_sent > 0
+
+
+def test_generator_never_self_flows():
+    sim = Simulator(seed=3)
+    nodes = _nodes(5)
+    gen = TrafficGenerator(sim, nodes, num_flows=8, mean_flow_length=3.0,
+                           duration=40.0)
+    sim.run(until=40.0)
+    assert all(f.src != f.dst for f in gen.flows)
+
+
+def test_destinations_used_covers_all_flows():
+    sim = Simulator(seed=3)
+    nodes = _nodes(6)
+    gen = TrafficGenerator(sim, nodes, num_flows=3, duration=20.0)
+    sim.run(until=20.0)
+    assert gen.destinations_used() == set(f.dst for f in gen.flows)
+
+
+def test_generator_is_deterministic_per_seed():
+    def pairs(seed):
+        sim = Simulator(seed=seed)
+        nodes = _nodes(8)
+        gen = TrafficGenerator(sim, nodes, num_flows=3, duration=30.0,
+                               mean_flow_length=5.0)
+        sim.run(until=30.0)
+        return [(f.src, f.dst, f.start) for f in gen.flows]
+
+    assert pairs(11) == pairs(11)
+    assert pairs(11) != pairs(12)
