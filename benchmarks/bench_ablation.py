@@ -8,7 +8,6 @@ by disabling them one at a time on the 50-node/10-flow scenario.
 from benchmarks.conftest import bench_campaign, save_result
 from repro.core import LdrConfig
 from repro.experiments.campaigns import node_scenario
-from repro.experiments.scenario import run_scenario
 
 VARIANTS = [
     ("all-on", {}),
@@ -24,16 +23,21 @@ VARIANTS = [
 
 
 def _ablation(campaign):
-    rows = []
+    specs = []
     for name, overrides in VARIANTS:
-        config = LdrConfig(**overrides)
-        samples = []
         for trial in range(campaign.trials):
             scenario = node_scenario(
                 campaign.num_nodes_small, 10, 0, campaign.duration,
                 seed=1 + trial, protocol="ldr",
-            ).replaced(protocol_config=config)
-            samples.append(run_scenario(scenario).as_dict())
+            ).replaced(protocol_config=LdrConfig(**overrides))
+            specs.append((name, scenario))
+    results = campaign.engine().run_rows(config for _, config in specs)
+    by_variant = {}
+    for (name, _), row in zip(specs, results):
+        by_variant.setdefault(name, []).append(row)
+    rows = []
+    for name, _ in VARIANTS:
+        samples = by_variant[name]
         mean = lambda key: sum(s[key] for s in samples) / len(samples)
         rows.append((name, mean("delivery_ratio"), mean("network_load"),
                      mean("rreq_load"), mean("mean_latency")))

@@ -6,9 +6,16 @@ whole suite runs in minutes on a laptop; set environment variables to
 approach the paper's full scale:
 
 * ``REPRO_PAPER_SCALE=1`` — 900-second runs, 10 trials, the full pause
-  sweep (hours of wall-clock).
+  sweep (hours of wall-clock on one core — combine with
+  ``REPRO_BENCH_JOBS``).
 * ``REPRO_BENCH_DURATION`` — seconds per run (default 45).
 * ``REPRO_BENCH_TRIALS`` — trials per configuration (default 1).
+* ``REPRO_BENCH_JOBS`` — worker processes per campaign (default 1);
+  trials fan out over a process pool with results bit-identical to the
+  serial run.
+* ``REPRO_BENCH_CACHE=1`` — reuse the on-disk trial-result cache
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ldr``).  Off by default so
+  benchmark timings measure simulation, not cache reads.
 
 Results are printed and written under ``benchmarks/results/``.
 """
@@ -25,11 +32,14 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def bench_campaign():
     """The campaign all benches share, controlled by the env knobs above."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    use_cache = os.environ.get("REPRO_BENCH_CACHE") == "1"
     if os.environ.get("REPRO_PAPER_SCALE") == "1":
-        return Campaign(paper_scale=True)
+        return Campaign(paper_scale=True, jobs=jobs, use_cache=use_cache)
     duration = float(os.environ.get("REPRO_BENCH_DURATION", "45"))
     trials = int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
-    return Campaign(paper_scale=False, duration=duration, trials=trials)
+    return Campaign(paper_scale=False, duration=duration, trials=trials,
+                    jobs=jobs, use_cache=use_cache)
 
 
 def save_result(name, text):

@@ -25,6 +25,7 @@ Quickstart::
 """
 
 from repro.core import LdrConfig, LdrProtocol
+from repro.exec import CampaignEngine, ResultCache
 from repro.experiments import (
     PROTOCOLS,
     ScenarioConfig,

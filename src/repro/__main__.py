@@ -6,8 +6,15 @@ run           one scenario, print the paper's metrics
 compare       several protocols on the identical workload
 table1        regenerate Table 1 for a flow count
 figure        regenerate one of Figures 2-7
+cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
+
+``compare``, ``table1`` and ``figure`` run their trials through the
+campaign engine: ``--jobs N`` fans trials over N worker processes and
+results are cached on disk (disable with ``--no-cache``; relocate with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``).  Parallel and cached runs are
+bit-identical to serial ones.
 """
 
 import argparse
@@ -15,6 +22,7 @@ import json
 import sys
 
 from repro.analysis import connectivity_ratio
+from repro.exec import CampaignEngine, ResultCache, console_progress
 from repro.experiments import (
     PROTOCOLS,
     ScenarioConfig,
@@ -42,6 +50,31 @@ def _add_scenario_args(parser):
     parser.add_argument("--height", type=float, default=None)
 
 
+def _add_exec_args(parser):
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the trial-result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache location (default $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-ldr)")
+
+
+def _progress(args):
+    """Console progress for interactive campaign runs."""
+    if sys.stderr.isatty():
+        return console_progress(sys.stderr)
+    return None
+
+
+def _campaign_from(args):
+    return Campaign(
+        paper_scale=args.paper_scale, duration=args.duration,
+        trials=args.trials, jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir, progress=_progress(args),
+    )
+
+
 def _scenario_from(args, protocol=None):
     width = args.width if args.width else (1500.0 if args.nodes <= 50 else 2200.0)
     height = args.height if args.height else (300.0 if args.nodes <= 50 else 600.0)
@@ -62,29 +95,35 @@ def cmd_compare(args):
     protocols = args.protocols.split(",")
     keys = ("delivery_ratio", "mean_latency", "network_load", "rreq_load",
             "mean_destination_seqno")
-    header = "{:<8}".format("proto") + "".join("{:>14}".format(k[:13]) for k in keys)
-    print(header)
-    print("-" * len(header))
     for protocol in protocols:
         if protocol not in PROTOCOLS:
             print("unknown protocol: %s" % protocol, file=sys.stderr)
             return 2
-        row = run_scenario(_scenario_from(args, protocol)).as_dict()
+    engine = CampaignEngine(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        progress=_progress(args),
+    )
+    rows = engine.run_rows(
+        _scenario_from(args, protocol) for protocol in protocols
+    )
+    header = "{:<8}".format("proto") + "".join("{:>14}".format(k[:13]) for k in keys)
+    print(header)
+    print("-" * len(header))
+    for protocol, row in zip(protocols, rows):
         print("{:<8}".format(protocol) + "".join(
             "{:>14.4f}".format(row[k]) for k in keys))
     return 0
 
 
 def cmd_table1(args):
-    campaign = Campaign(paper_scale=args.paper_scale,
-                        duration=args.duration, trials=args.trials)
+    campaign = _campaign_from(args)
     print(format_table1(table1(args.flows, campaign=campaign), args.flows))
     return 0
 
 
 def cmd_figure(args):
-    campaign = Campaign(paper_scale=args.paper_scale,
-                        duration=args.duration, trials=args.trials)
+    campaign = _campaign_from(args)
     figures = {
         "fig2": lambda: figure_delivery(50, 10, campaign=campaign),
         "fig3": lambda: figure_delivery(50, 30, campaign=campaign),
@@ -96,6 +135,26 @@ def cmd_figure(args):
     series = figures[args.name]()
     ylabel = "mean destination seqno" if args.name == "fig7" else "delivery ratio"
     print(format_series(series, "Figure %s" % args.name[3:], ylabel=ylabel))
+    return 0
+
+
+def cmd_cache(args):
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print("removed %d cache entries from %s" % (removed, cache.root))
+        return 0
+    stats = cache.stats()
+    print("cache dir : %s" % stats["dir"])
+    print("entries   : %d" % stats["entries"])
+    print("size      : %.1f KiB" % (stats["bytes"] / 1024.0))
+    if args.list:
+        shown = 0
+        for doc in cache.iter_entries():
+            if shown >= args.list:
+                break
+            print("  " + cache.describe_entry(doc))
+            shown += 1
     return 0
 
 
@@ -128,6 +187,7 @@ def main(argv=None):
 
     p = sub.add_parser("compare", help="compare protocols on one workload")
     _add_scenario_args(p)
+    _add_exec_args(p)
     p.add_argument("--protocols", default="ldr,aodv,dsr,olsr")
     p.set_defaults(func=cmd_compare)
 
@@ -136,6 +196,7 @@ def main(argv=None):
     p.add_argument("--paper-scale", action="store_true")
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--trials", type=int, default=None)
+    _add_exec_args(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("figure", help="regenerate a figure")
@@ -144,7 +205,17 @@ def main(argv=None):
     p.add_argument("--paper-scale", action="store_true")
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--trials", type=int, default=None)
+    _add_exec_args(p)
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache location (default $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-ldr)")
+    p.add_argument("--list", type=int, nargs="?", const=20, default=0,
+                   metavar="N", help="list up to N entries (default 20)")
+    p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("connectivity", help="physical connectivity bound")
     _add_scenario_args(p)

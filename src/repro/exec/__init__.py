@@ -1,0 +1,46 @@
+"""Parallel campaign execution with on-disk result caching.
+
+The experiment harness above this package describes *what* to run
+(tables, figures, sweeps); ``repro.exec`` decides *how*: trials fan out
+over a process pool, completed rows persist in a content-addressed cache,
+failures retry a bounded number of times, and progress streams to a
+callback.  Results are bit-identical to a serial in-process loop.
+
+* :mod:`repro.exec.engine` — :class:`CampaignEngine` and result types.
+* :mod:`repro.exec.cache` — :class:`ResultCache` and the key scheme.
+* :mod:`repro.exec.worker` — the per-trial unit of work.
+* :mod:`repro.exec.progress` — progress snapshots and console rendering.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA,
+    ResultCache,
+    default_cache_dir,
+    trial_key,
+)
+from repro.exec.engine import (
+    CampaignEngine,
+    CampaignError,
+    CampaignResult,
+    TrialResult,
+)
+from repro.exec.progress import Progress, console_progress, format_progress
+from repro.exec.worker import run_trial_config, run_trial_payload
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CampaignEngine",
+    "CampaignError",
+    "CampaignResult",
+    "Progress",
+    "ResultCache",
+    "TrialResult",
+    "console_progress",
+    "default_cache_dir",
+    "format_progress",
+    "run_trial_config",
+    "run_trial_payload",
+    "trial_key",
+]

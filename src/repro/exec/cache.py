@@ -1,0 +1,169 @@
+"""On-disk cache of trial results keyed by scenario content.
+
+A trial is a pure function of its :class:`~repro.experiments.scenario.
+ScenarioConfig` (the seed is part of the config), so its
+``RunReport.as_dict()`` row can be cached forever under a content hash of
+the config.  Re-running a campaign, or sharing trials between Table 1 and
+Figures 2–5, then costs one JSON read per trial instead of a simulation.
+
+Keys additionally fold in a schema number and the package version so a
+code change that could alter results invalidates old entries rather than
+silently serving stale rows.
+"""
+
+import errno
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+import repro
+
+#: Bump when the cached row format or anything influencing simulation
+#: results changes without a package version bump.
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-ldr``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-ldr"
+
+
+def trial_key(config):
+    """Stable content hash identifying one trial's result.
+
+    Covers the full scenario config (seed included), the cache schema and
+    the package version.  Raises
+    :class:`~repro.experiments.scenario.ConfigSerializationError` for
+    configs carrying live objects.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": repro.__version__,
+        "config": config.to_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key[:2]>/<key>.json`` trial-result documents.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    campaigns sharing a cache directory never observe torn entries; the
+    worst case under a race is one redundant write of identical content.
+    """
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return self.root / key[:2] / (key + ".json")
+
+    def get(self, key):
+        """The cached row for ``key``, or None (corrupt entries = miss)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            row = doc["row"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, key, row, config=None):
+        """Store ``row`` under ``key`` atomically.
+
+        ``config`` (a :class:`ScenarioConfig`), when given, is stored
+        alongside so ``repro cache --list`` can describe entries.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"key": key, "row": row, "created": time.time()}
+        if config is not None:
+            doc["config"] = config.to_dict()
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key):
+        return self._path(key).is_file()
+
+    def iter_entries(self):
+        """Yield every readable cache document (unordered)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    yield json.load(fh)
+            except (OSError, ValueError):
+                continue
+
+    def stats(self):
+        """``{"dir", "entries", "bytes"}`` for ``repro cache``."""
+        entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"dir": str(self.root), "entries": entries, "bytes": total_bytes}
+
+    def clear(self):
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError as exc:
+                if exc.errno != errno.ENOENT:
+                    raise
+        for shard in self.root.glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def describe_entry(self, doc):
+        """One human line for ``repro cache --list``."""
+        from repro.experiments.scenario import ScenarioConfig
+
+        key = doc.get("key", "?")[:12]
+        config = doc.get("config")
+        if config:
+            try:
+                cfg = ScenarioConfig.from_dict(config)
+                return "%s  %-6s n=%-3d flows=%-2d pause=%-5g dur=%-5g seed=%d" % (
+                    key, cfg.protocol, cfg.num_nodes, cfg.num_flows,
+                    cfg.pause_time, cfg.duration, cfg.seed,
+                )
+            except (ValueError, TypeError):
+                pass
+        return "%s  (no config recorded)" % key

@@ -1,0 +1,270 @@
+"""The campaign execution engine.
+
+Fans independent ``(ScenarioConfig, seed)`` trials out over a process
+pool, serves repeats from the on-disk :class:`ResultCache`, retries
+failed workers a bounded number of times, and reports live progress.
+
+Because every trial is a pure function of its config (all randomness
+flows from the seeded simulator), results are **bit-identical** however
+they are executed — serially, on N workers, or replayed from cache — and
+the engine preserves submission order, so aggregation downstream sees
+exactly the sequence a serial loop would have produced.
+"""
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.exec import worker as _worker
+from repro.exec.cache import trial_key
+from repro.exec.progress import Progress
+from repro.experiments.scenario import ConfigSerializationError
+
+
+class CampaignError(RuntimeError):
+    """Raised when results are requested but some trials failed for good."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        preview = "; ".join(
+            "trial %d (%s): %s"
+            % (t.index, t.config.protocol, (t.error or "").strip().splitlines()[-1])
+            for t in self.failures[:3]
+        )
+        more = "" if len(self.failures) <= 3 else " (+%d more)" % (len(self.failures) - 3)
+        super().__init__(
+            "%d trial(s) failed after retries: %s%s"
+            % (len(self.failures), preview, more)
+        )
+
+
+class TrialResult:
+    """Outcome of one trial: a row, a cache hit, or a terminal error."""
+
+    __slots__ = ("index", "config", "key", "row", "cached", "error", "attempts")
+
+    def __init__(self, index, config):
+        self.index = index
+        self.config = config
+        self.key = None
+        self.row = None
+        self.cached = False
+        self.error = None
+        self.attempts = 0
+
+    @property
+    def ok(self):
+        return self.row is not None
+
+    def __repr__(self):
+        state = "cached" if self.cached else ("ok" if self.ok else
+                                              ("failed" if self.error else "pending"))
+        return "TrialResult(#%d %s %s)" % (self.index, self.config.protocol, state)
+
+
+class CampaignResult:
+    """All trial outcomes of one :meth:`CampaignEngine.run`, in order."""
+
+    def __init__(self, trials):
+        self.trials = list(trials)
+
+    @property
+    def executed(self):
+        return sum(1 for t in self.trials if t.ok and not t.cached)
+
+    @property
+    def cached(self):
+        return sum(1 for t in self.trials if t.cached)
+
+    def failures(self):
+        return [t for t in self.trials if t.error is not None]
+
+    @property
+    def failed(self):
+        return len(self.failures())
+
+    def rows(self):
+        """Every trial's metric row, in submission order.
+
+        Raises :class:`CampaignError` if any trial failed for good —
+        callers that want partial results inspect ``trials`` directly.
+        """
+        failures = self.failures()
+        if failures:
+            raise CampaignError(failures)
+        return [t.row for t in self.trials]
+
+
+class CampaignEngine:
+    """Runs batches of scenario trials with caching, pooling, and retry.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes in-process — same
+        results, no pool overhead.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache`, or None to disable
+        caching.
+    retries:
+        Extra attempts granted after a trial's first failure.
+    timeout:
+        Per-trial wall-clock budget in seconds (enforced inside the
+        worker), or None for unlimited.
+    progress:
+        Callable receiving a :class:`~repro.exec.progress.Progress`
+        snapshot after every settled trial.
+    mp_context:
+        ``multiprocessing`` start-method name or context for the pool
+        (default: the platform default).
+    """
+
+    def __init__(self, jobs=1, cache=None, retries=1, timeout=None,
+                 progress=None, mp_context=None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        self.progress = progress
+        self.mp_context = mp_context
+        self._start = None
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, configs):
+        """Execute every config; returns a :class:`CampaignResult`.
+
+        Order of results matches the order of ``configs``.  Cached trials
+        are never re-executed; failed trials are retried up to
+        ``retries`` times and then surface in the result instead of
+        raising.
+        """
+        trials = [TrialResult(i, c) for i, c in enumerate(configs)]
+        self._start = time.monotonic()
+        pending = []
+        for trial in trials:
+            try:
+                trial.key = trial_key(trial.config)
+            except ConfigSerializationError:
+                trial.key = None  # live objects: run in-process, uncached
+            if self.cache is not None and trial.key is not None:
+                row = self.cache.get(trial.key)
+                if row is not None:
+                    trial.row = row
+                    trial.cached = True
+                    self._emit(trials)
+                    continue
+            pending.append(trial)
+
+        if self.jobs > 1:
+            poolable = [t for t in pending if t.key is not None]
+            local = [t for t in pending if t.key is None]
+            self._run_pool(poolable, trials)
+        else:
+            local = pending
+        for trial in local:
+            self._run_local(trial, trials)
+        return CampaignResult(trials)
+
+    def run_rows(self, configs):
+        """:meth:`run` then :meth:`CampaignResult.rows` in one call."""
+        return self.run(configs).rows()
+
+    # -- execution paths -----------------------------------------------
+
+    def _payload(self, trial):
+        return {"config": trial.config.to_dict(), "timeout": self.timeout}
+
+    def _execute_inproc(self, trial):
+        if trial.key is None:
+            return _worker.run_trial_config(trial.config, timeout=self.timeout)
+        return _worker.run_trial_payload(self._payload(trial))
+
+    def _run_local(self, trial, trials):
+        while True:
+            trial.attempts += 1
+            outcome = self._execute_inproc(trial)
+            if outcome["ok"]:
+                trial.row = outcome["row"]
+                break
+            if trial.attempts > self.retries:
+                trial.error = outcome["error"]
+                break
+        self._settle(trial, trials)
+
+    def _run_pool(self, poolable, trials):
+        if not poolable:
+            return
+        ctx = self.mp_context
+        if isinstance(ctx, str):
+            ctx = multiprocessing.get_context(ctx)
+        try:
+            workers = min(self.jobs, len(poolable))
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                futures = {}
+                for trial in poolable:
+                    trial.attempts += 1
+                    future = pool.submit(_worker.run_trial_payload,
+                                         self._payload(trial))
+                    futures[future] = trial
+                while futures:
+                    done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        trial = futures.pop(future)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception:
+                            outcome = {
+                                "ok": False,
+                                "error": traceback.format_exc(limit=20),
+                            }
+                        if outcome["ok"]:
+                            trial.row = outcome["row"]
+                            self._settle(trial, trials)
+                        elif trial.attempts > self.retries:
+                            trial.error = outcome["error"]
+                            self._settle(trial, trials)
+                        else:
+                            trial.attempts += 1
+                            future = pool.submit(_worker.run_trial_payload,
+                                                 self._payload(trial))
+                            futures[future] = trial
+        except BrokenProcessPool:
+            # A worker died hard (segfault/OOM) and took the pool with it.
+            # Finish whatever is still unsettled in-process so the
+            # campaign degrades instead of crashing.
+            for trial in poolable:
+                if trial.row is None and trial.error is None:
+                    self._run_local(trial, trials)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _settle(self, trial, trials):
+        if (trial.ok and not trial.cached
+                and self.cache is not None and trial.key is not None):
+            self.cache.put(trial.key, trial.row, config=trial.config)
+        self._emit(trials)
+
+    def _emit(self, trials):
+        if self.progress is None:
+            return
+        executed = cached = failed = 0
+        for trial in trials:
+            if trial.cached:
+                cached += 1
+            elif trial.error is not None:
+                failed += 1
+            elif trial.row is not None:
+                executed += 1
+        self.progress(Progress(
+            total=len(trials),
+            done=executed + cached + failed,
+            executed=executed,
+            cached=cached,
+            failed=failed,
+            elapsed=time.monotonic() - self._start,
+        ))

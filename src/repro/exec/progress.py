@@ -1,0 +1,70 @@
+"""Live campaign progress: counts, ETA, and a console renderer.
+
+The engine emits a :class:`Progress` snapshot to its callback after every
+trial settles (executed, served from cache, or failed for good).  Any
+callable accepting one snapshot works; :func:`console_progress` builds the
+one the CLI uses.
+"""
+
+import sys
+
+
+class Progress:
+    """An immutable snapshot of a running campaign."""
+
+    __slots__ = ("total", "done", "executed", "cached", "failed", "elapsed")
+
+    def __init__(self, total, done, executed, cached, failed, elapsed):
+        self.total = total
+        self.done = done
+        self.executed = executed
+        self.cached = cached
+        self.failed = failed
+        self.elapsed = elapsed
+
+    @property
+    def remaining(self):
+        return self.total - self.done
+
+    @property
+    def eta(self):
+        """Estimated seconds left, or None before any trial has executed.
+
+        Cache hits are ~free, so the estimate scales the mean wall-clock
+        of *executed* trials by the number still outstanding.
+        """
+        if self.executed == 0 or self.remaining == 0:
+            return 0.0 if self.remaining == 0 else None
+        return self.elapsed / self.executed * self.remaining
+
+    def __repr__(self):
+        return (
+            "Progress(done=%d/%d, executed=%d, cached=%d, failed=%d)"
+            % (self.done, self.total, self.executed, self.cached, self.failed)
+        )
+
+
+def format_progress(progress):
+    """One status line: ``trials 12/48  run 8  cached 4  failed 0  eta 31s``."""
+    eta = progress.eta
+    eta_text = "--" if eta is None else "%ds" % round(eta)
+    return "trials %d/%d  run %d  cached %d  failed %d  eta %s" % (
+        progress.done, progress.total, progress.executed,
+        progress.cached, progress.failed, eta_text,
+    )
+
+
+def console_progress(stream=None):
+    """A callback rendering progress as a carriage-return status line.
+
+    Ends the line (newline) once the campaign completes, so subsequent
+    output starts clean.
+    """
+    stream = stream if stream is not None else sys.stderr
+
+    def callback(progress):
+        end = "\n" if progress.done == progress.total else "\r"
+        stream.write(format_progress(progress) + end)
+        stream.flush()
+
+    return callback

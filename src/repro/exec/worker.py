@@ -1,0 +1,79 @@
+"""The unit of work a campaign fans out: run one trial, return its row.
+
+``run_trial_payload`` is a module-level function taking only JSON-able
+data (a serialized :class:`ScenarioConfig` plus options), so process pools
+can ship it with any start method and the dispatch format never depends on
+pickle internals.  It never raises: failures — including per-trial
+timeouts, enforced with ``SIGALRM`` inside the worker so a wedged
+simulation cannot stall the whole campaign — come back as ``{"ok": False,
+"error": ...}`` outcomes for the engine to retry or report.
+"""
+
+import signal
+import threading
+import traceback
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+class TrialTimeout(Exception):
+    """Raised inside a worker when a trial exceeds its wall-clock budget."""
+
+
+def _on_alarm(signum, frame):
+    raise TrialTimeout()
+
+
+def _run_guarded(trial_fn, timeout):
+    """Run ``trial_fn`` under an optional wall-clock budget.
+
+    Returns ``{"ok": True, "row": ...}`` or ``{"ok": False, "error":
+    traceback-text}``; never raises.  SIGALRM only works on POSIX main
+    threads; elsewhere (Windows, or an engine driven from a helper thread)
+    trials simply run untimed.
+    """
+    timeout = timeout or 0.0
+    use_alarm = (
+        timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return {"ok": True, "row": trial_fn()}
+    except TrialTimeout:
+        return {"ok": False, "error": "trial timed out after %gs" % timeout}
+    except Exception:
+        return {"ok": False, "error": traceback.format_exc(limit=20)}
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def run_trial_payload(payload):
+    """Execute one serialized trial; returns an outcome dict.
+
+    ``payload`` is ``{"config": ScenarioConfig.to_dict(), "timeout":
+    seconds-or-None}``.  The outcome is ``{"ok": True, "row":
+    RunReport.as_dict()}`` on success, else ``{"ok": False, "error":
+    traceback-text}``.
+    """
+
+    def trial():
+        config = ScenarioConfig.from_dict(payload["config"])
+        return run_scenario(config).as_dict()
+
+    return _run_guarded(trial, payload.get("timeout"))
+
+
+def run_trial_config(config, timeout=None):
+    """In-process fallback for configs that cannot be serialized.
+
+    Same outcome contract as :func:`run_trial_payload`, but runs the live
+    :class:`ScenarioConfig` object directly (no cache, no worker).
+    """
+    return _run_guarded(lambda: run_scenario(config).as_dict(), timeout)

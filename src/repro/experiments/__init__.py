@@ -10,9 +10,14 @@ generators for every table and figure in the paper's evaluation.
   Table 1 and Figures 2–7.
 """
 
-from repro.experiments.runner import run_protocol_comparison, run_trials
+from repro.experiments.runner import (
+    MissingMetricError,
+    run_protocol_comparison,
+    run_trials,
+)
 from repro.experiments.scenario import (
     PROTOCOLS,
+    ConfigSerializationError,
     ScenarioConfig,
     build_scenario,
     run_scenario,
@@ -20,6 +25,8 @@ from repro.experiments.scenario import (
 
 __all__ = [
     "PROTOCOLS",
+    "ConfigSerializationError",
+    "MissingMetricError",
     "ScenarioConfig",
     "build_scenario",
     "run_protocol_comparison",

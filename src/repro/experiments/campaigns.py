@@ -55,10 +55,22 @@ def pause_sweep(duration, paper_scale=False):
 
 
 class Campaign:
-    """Shared knobs for a table/figure regeneration."""
+    """Shared knobs for a table/figure regeneration.
+
+    Besides the scenario scale (duration, trials, node counts), a
+    campaign carries *execution* knobs — worker count, result cache,
+    retry/timeout budgets — and builds the
+    :class:`~repro.exec.engine.CampaignEngine` every generator in
+    :mod:`~repro.experiments.tables` / :mod:`~repro.experiments.figures`
+    runs its trials through.  Parallel and cached runs are bit-identical
+    to serial ones, which is what makes ``paper_scale=True`` regeneration
+    feasible on a multi-core box.
+    """
 
     def __init__(self, paper_scale=False, duration=None, trials=None,
-                 num_nodes_small=None, num_nodes_large=None):
+                 num_nodes_small=None, num_nodes_large=None,
+                 jobs=1, use_cache=False, cache_dir=None,
+                 retries=1, timeout=None, progress=None):
         self.paper_scale = paper_scale
         if paper_scale:
             self.duration = duration or 900.0
@@ -70,6 +82,22 @@ class Campaign:
             self.trials = trials or 2
             self.num_nodes_small = num_nodes_small or 50
             self.num_nodes_large = num_nodes_large or 100
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache_dir = cache_dir
+        self.retries = retries
+        self.timeout = timeout
+        self.progress = progress
 
     def pauses(self):
         return pause_sweep(self.duration, self.paper_scale)
+
+    def engine(self, progress=None):
+        """Build the campaign's :class:`CampaignEngine`."""
+        from repro.exec import CampaignEngine, ResultCache
+
+        cache = ResultCache(self.cache_dir) if self.use_cache else None
+        return CampaignEngine(
+            jobs=self.jobs, cache=cache, retries=self.retries,
+            timeout=self.timeout, progress=progress or self.progress,
+        )

@@ -3,14 +3,45 @@
 Each generator returns plain data (protocol -> list of (x, mean, ci)) plus
 a formatter that prints the series as aligned text — the textual equivalent
 of the paper's plots, with the same axes.
+
+Every generator collects its full (series x pause x trial) grid and
+submits it to the campaign's :class:`~repro.exec.engine.CampaignEngine`
+as one batch, so parallel engines overlap trials across the whole figure
+and cached trials (e.g. shared with Table 1) are never re-run.
 """
 
+from repro.analysis import Aggregate
 from repro.experiments.campaigns import COMPARED_PROTOCOLS, Campaign, node_scenario
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import extract_metric, trial_configs
+
+
+def _sweep(campaign, engine, specs, metric):
+    """Run labelled configs and fold them into per-label series.
+
+    ``specs`` is ``[(label, pause, config), ...]`` where each config is
+    the *base* (trial 0) scenario; the engine sees every seeded trial and
+    each series point becomes an :class:`Aggregate` over its trials.
+    """
+    engine = engine or campaign.engine()
+    expanded = []
+    for label, pause, config in specs:
+        for trial_config in trial_configs(config, campaign.trials):
+            expanded.append((label, pause, trial_config))
+    rows = engine.run_rows(config for _, _, config in expanded)
+    grouped = {}
+    for (label, pause, _), row in zip(expanded, rows):
+        grouped.setdefault(label, {}).setdefault(pause, []).append(
+            extract_metric(row, metric)
+        )
+    series = {}
+    for label, pause, _ in specs:  # keep the sweep's x-axis order
+        agg = Aggregate(grouped[label][pause])
+        series.setdefault(label, []).append((pause, agg.mean, agg.ci))
+    return series
 
 
 def figure_delivery(num_nodes, num_flows, campaign=None,
-                    protocols=COMPARED_PROTOCOLS):
+                    protocols=COMPARED_PROTOCOLS, engine=None):
     """Figures 2–5: delivery ratio vs pause time.
 
     * Fig. 2 — 50 nodes, 10 flows (40 pps aggregate)
@@ -19,22 +50,17 @@ def figure_delivery(num_nodes, num_flows, campaign=None,
     * Fig. 5 — 100 nodes, 30 flows
     """
     campaign = campaign or Campaign()
-    series = {}
-    for protocol in protocols:
-        points = []
-        for pause in campaign.pauses():
-            config = node_scenario(
-                num_nodes, num_flows, pause, campaign.duration,
-                protocol=protocol,
-            )
-            aggregates = run_trials(config, trials=campaign.trials)
-            agg = aggregates["delivery_ratio"]
-            points.append((pause, agg.mean, agg.ci))
-        series[protocol] = points
-    return series
+    specs = [
+        (protocol, pause, node_scenario(
+            num_nodes, num_flows, pause, campaign.duration, protocol=protocol,
+        ))
+        for protocol in protocols
+        for pause in campaign.pauses()
+    ]
+    return _sweep(campaign, engine, specs, "delivery_ratio")
 
 
-def figure_qualnet_crosscheck(campaign=None):
+def figure_qualnet_crosscheck(campaign=None, engine=None):
     """Figure 6: the QualNet re-run of Fig. 3 (50 nodes, 30 flows).
 
     The paper re-simulated in QualNet 3.5.2 with DSR draft 7 and observed
@@ -44,22 +70,17 @@ def figure_qualnet_crosscheck(campaign=None):
     different workload statistics).
     """
     campaign = campaign or Campaign()
-    series = {}
-    for protocol in ("ldr", "aodv", "dsr7", "olsr"):
-        points = []
-        for pause in campaign.pauses():
-            config = node_scenario(
-                50, 30, pause, campaign.duration, protocol=protocol,
-                seed=101,
-            )
-            aggregates = run_trials(config, trials=campaign.trials)
-            agg = aggregates["delivery_ratio"]
-            points.append((pause, agg.mean, agg.ci))
-        series[protocol] = points
-    return series
+    specs = [
+        (protocol, pause, node_scenario(
+            50, 30, pause, campaign.duration, protocol=protocol, seed=101,
+        ))
+        for protocol in ("ldr", "aodv", "dsr7", "olsr")
+        for pause in campaign.pauses()
+    ]
+    return _sweep(campaign, engine, specs, "delivery_ratio")
 
 
-def figure_seqno(campaign=None, num_nodes=50):
+def figure_seqno(campaign=None, num_nodes=50, engine=None):
     """Figure 7: mean destination sequence number, LDR vs AODV.
 
     Low load = 10 flows, high load = 30 flows.  The paper reports LDR
@@ -68,20 +89,15 @@ def figure_seqno(campaign=None, num_nodes=50):
     node's sequence number.
     """
     campaign = campaign or Campaign()
-    series = {}
-    for protocol in ("ldr", "aodv"):
-        for num_flows, label in ((10, "low"), (30, "high")):
-            points = []
-            for pause in campaign.pauses():
-                config = node_scenario(
-                    num_nodes, num_flows, pause, campaign.duration,
-                    protocol=protocol,
-                )
-                aggregates = run_trials(config, trials=campaign.trials)
-                agg = aggregates["mean_destination_seqno"]
-                points.append((pause, agg.mean, agg.ci))
-            series["{}-{}".format(protocol, label)] = points
-    return series
+    specs = [
+        ("{}-{}".format(protocol, label), pause, node_scenario(
+            num_nodes, num_flows, pause, campaign.duration, protocol=protocol,
+        ))
+        for protocol in ("ldr", "aodv")
+        for num_flows, label in ((10, "low"), (30, "high"))
+        for pause in campaign.pauses()
+    ]
+    return _sweep(campaign, engine, specs, "mean_destination_seqno")
 
 
 def format_series(series, title, xlabel="pause time (s)", ylabel="value"):

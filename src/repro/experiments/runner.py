@@ -3,10 +3,14 @@
 The paper repeats each configuration for 10 trials with different random
 seeds and reports means with 95% confidence intervals; :func:`run_trials`
 reproduces that loop (trial ``i`` uses ``seed + i``).
+
+Trials execute through a :class:`~repro.exec.engine.CampaignEngine`; the
+default engine runs serially in-process, but any engine (parallel,
+cached, with retry/timeout) produces bit-identical aggregates because
+every trial is a pure function of its seeded config.
 """
 
 from repro.analysis import Aggregate
-from repro.experiments.scenario import run_scenario
 
 #: The metrics aggregated across trials (superset of the paper's Table 1).
 METRIC_KEYS = (
@@ -21,29 +25,79 @@ METRIC_KEYS = (
 )
 
 
-def run_trials(config, trials=3):
-    """Run ``trials`` seeded repetitions of ``config``.
+class MissingMetricError(KeyError):
+    """A trial's report lacks a metric the aggregation expected."""
 
-    Returns ``{metric: Aggregate}``.
-    """
-    samples = {key: [] for key in METRIC_KEYS}
-    for trial in range(trials):
-        report = run_scenario(config.replaced(seed=config.seed + trial))
-        row = report.as_dict()
-        for key in METRIC_KEYS:
-            samples[key].append(row[key])
+    def __init__(self, key, available):
+        self.key = key
+        self.available = sorted(available)
+        super().__init__(key)
+
+    def __str__(self):
+        return (
+            "trial report is missing metric %r (available: %s) — did "
+            "RunReport.as_dict() change without updating METRIC_KEYS?"
+            % (self.key, ", ".join(self.available))
+        )
+
+
+def extract_metric(row, key):
+    """``row[key]`` with a diagnosable error instead of a bare KeyError."""
+    try:
+        return row[key]
+    except KeyError:
+        raise MissingMetricError(key, row) from None
+
+
+def _default_engine():
+    # Imported lazily: repro.exec sits on top of repro.experiments, so a
+    # module-level import here would be circular.
+    from repro.exec.engine import CampaignEngine
+
+    return CampaignEngine()
+
+
+def trial_configs(config, trials):
+    """The seeded per-trial configs: trial ``i`` uses ``seed + i``."""
+    return [config.replaced(seed=config.seed + trial) for trial in range(trials)]
+
+
+def aggregate_rows(rows, keys=METRIC_KEYS):
+    """Fold trial rows into ``{metric: Aggregate}`` in row order."""
+    samples = {key: [] for key in keys}
+    for row in rows:
+        for key in keys:
+            samples[key].append(extract_metric(row, key))
     return {key: Aggregate(values) for key, values in samples.items()}
 
 
-def run_protocol_comparison(base_config, protocols, trials=3):
+def run_trials(config, trials=3, engine=None):
+    """Run ``trials`` seeded repetitions of ``config``.
+
+    Returns ``{metric: Aggregate}``.  Pass an ``engine`` to parallelize
+    or cache; results are identical either way.
+    """
+    engine = engine or _default_engine()
+    rows = engine.run_rows(trial_configs(config, trials))
+    return aggregate_rows(rows)
+
+
+def run_protocol_comparison(base_config, protocols, trials=3, engine=None):
     """Run the same scenario under several protocols.
 
     Returns ``{protocol: {metric: Aggregate}}``.  Mobility and traffic are
     driven by protocol-independent RNG streams, so for a given seed every
-    protocol faces the identical workload — the paper's methodology.
+    protocol faces the identical workload — the paper's methodology.  All
+    ``protocols x trials`` runs go to the engine as one batch, so a
+    parallel engine overlaps work across protocols too.
     """
-    results = {}
+    engine = engine or _default_engine()
+    configs = []
     for protocol in protocols:
         config = base_config.replaced(protocol=protocol, protocol_config=None)
-        results[protocol] = run_trials(config, trials=trials)
+        configs.extend(trial_configs(config, trials))
+    rows = engine.run_rows(configs)
+    results = {}
+    for i, protocol in enumerate(protocols):
+        results[protocol] = aggregate_rows(rows[i * trials:(i + 1) * trials])
     return results

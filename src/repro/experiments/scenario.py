@@ -43,6 +43,69 @@ def _dsr_draft7_config():
     return DsrConfig(cache_lifetime=30.0, max_salvage_count=5)
 
 
+#: Config classes a :class:`ScenarioConfig` may carry in ``protocol_config``
+#: or ``mac_config``; serialization records the class name so
+#: :meth:`ScenarioConfig.from_dict` can rebuild the exact variant (e.g. the
+#: draft-7 DSR config behind the ``dsr7`` protocol name).
+CONFIG_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        LdrConfig,
+        AodvConfig,
+        DsrConfig,
+        DualConfig,
+        NsrConfig,
+        OlsrConfig,
+        OracleConfig,
+        RoamConfig,
+        ToraConfig,
+        MacConfig,
+    )
+}
+
+
+class ConfigSerializationError(TypeError):
+    """A ScenarioConfig cannot be turned into plain JSON-able data.
+
+    Raised for live objects (custom mobility models, callables) that have
+    no stable textual form; such configs still run in-process but cannot be
+    cached or dispatched to worker processes by value.
+    """
+
+
+def _nested_to_dict(obj, field):
+    """Serialize a protocol/MAC config object to ``{"type", "fields"}``."""
+    if obj is None:
+        return None
+    cls_name = type(obj).__name__
+    if cls_name not in CONFIG_CLASSES:
+        raise ConfigSerializationError(
+            "%s=%r is not a registered config class (known: %s)"
+            % (field, obj, sorted(CONFIG_CLASSES))
+        )
+    fields = {}
+    for key, value in sorted(vars(obj).items()):
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            raise ConfigSerializationError(
+                "%s.%s=%r is not a JSON scalar; this config cannot be "
+                "serialized for caching/worker dispatch" % (field, key, value)
+            )
+        fields[key] = value
+    return {"type": cls_name, "fields": fields}
+
+
+def _nested_from_dict(data, field):
+    if data is None:
+        return None
+    cls = CONFIG_CLASSES.get(data.get("type"))
+    if cls is None:
+        raise ValueError(
+            "unknown %s type %r (known: %s)"
+            % (field, data.get("type"), sorted(CONFIG_CLASSES))
+        )
+    return cls(**data["fields"])
+
+
 PROTOCOLS = {
     "ldr": (LdrProtocol, LdrConfig),
     "aodv": (AodvProtocol, AodvConfig),
@@ -109,6 +172,29 @@ class ScenarioConfig:
         self.loop_check = loop_check
         self.warmup = warmup
 
+    #: Fields with plain scalar values, in declaration order.  ``to_dict``
+    #: serializes these verbatim; the three object-valued fields
+    #: (``protocol_config``, ``mac_config``, ``mobility``) are special-cased.
+    SCALAR_FIELDS = (
+        "protocol",
+        "num_nodes",
+        "width",
+        "height",
+        "num_flows",
+        "rate",
+        "packet_size",
+        "mean_flow_length",
+        "duration",
+        "pause_time",
+        "min_speed",
+        "max_speed",
+        "transmission_range",
+        "gray_zone",
+        "seed",
+        "loop_check",
+        "warmup",
+    )
+
     def replaced(self, **overrides):
         import copy
 
@@ -118,6 +204,45 @@ class ScenarioConfig:
                 raise AttributeError("unknown ScenarioConfig field %r" % key)
             setattr(clone, key, value)
         return clone
+
+    def to_dict(self):
+        """A stable, JSON-able description of this config.
+
+        The round trip ``ScenarioConfig.from_dict(cfg.to_dict())`` rebuilds
+        an equivalent config, so cache keys and worker dispatch never
+        depend on pickle internals.  Raises
+        :class:`ConfigSerializationError` when the config carries live
+        objects (a custom ``mobility`` model, callables inside a protocol
+        config) that have no stable textual form.
+        """
+        if self.mobility is not None:
+            raise ConfigSerializationError(
+                "a ScenarioConfig with a custom mobility object cannot be "
+                "serialized; describe placement via pause_time/seed instead"
+            )
+        data = {key: getattr(self, key) for key in self.SCALAR_FIELDS}
+        data["protocol_config"] = _nested_to_dict(
+            self.protocol_config, "protocol_config"
+        )
+        data["mac_config"] = _nested_to_dict(self.mac_config, "mac_config")
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a config serialized by :meth:`to_dict`."""
+        data = dict(data)
+        protocol_config = _nested_from_dict(
+            data.pop("protocol_config", None), "protocol_config"
+        )
+        mac_config = _nested_from_dict(data.pop("mac_config", None), "mac_config")
+        unknown = set(data) - set(cls.SCALAR_FIELDS)
+        if unknown:
+            raise ValueError(
+                "unknown ScenarioConfig fields %s" % sorted(unknown)
+            )
+        return cls(
+            protocol_config=protocol_config, mac_config=mac_config, **data
+        )
 
 
 class Scenario:

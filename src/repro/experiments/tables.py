@@ -3,7 +3,7 @@ counts for a given flow load, with 95% confidence intervals."""
 
 from repro.analysis import Aggregate
 from repro.experiments.campaigns import COMPARED_PROTOCOLS, Campaign, node_scenario
-from repro.experiments.scenario import run_scenario
+from repro.experiments.runner import extract_metric
 
 TABLE1_METRICS = (
     ("delivery_ratio", "Delivery"),
@@ -15,32 +15,42 @@ TABLE1_METRICS = (
 )
 
 
-def table1(num_flows, campaign=None, protocols=COMPARED_PROTOCOLS):
+def table1(num_flows, campaign=None, protocols=COMPARED_PROTOCOLS,
+           engine=None):
     """Regenerate one flow-count block of Table 1.
 
     Returns ``{protocol: {metric: Aggregate}}`` where each Aggregate pools
     every (node count, pause time, trial) sample — exactly the paper's
     "averaging over all pause times and both 50-node and 100-node
     scenarios for a given number of flows".
+
+    The whole grid (protocols x node counts x pauses x trials) goes to
+    the campaign's engine as one batch, so a parallel engine keeps every
+    worker busy across the full table.
     """
     campaign = campaign or Campaign()
-    results = {}
+    engine = engine or campaign.engine()
+    specs = []
     for protocol in protocols:
-        samples = {key: [] for key, _ in TABLE1_METRICS}
         for num_nodes in (campaign.num_nodes_small, campaign.num_nodes_large):
             for pause in campaign.pauses():
                 for trial in range(campaign.trials):
-                    config = node_scenario(
+                    specs.append((protocol, node_scenario(
                         num_nodes, num_flows, pause, campaign.duration,
                         seed=1 + trial, protocol=protocol,
-                    )
-                    row = run_scenario(config).as_dict()
-                    for key, _ in TABLE1_METRICS:
-                        samples[key].append(row[key])
-        results[protocol] = {
-            key: Aggregate(values) for key, values in samples.items()
-        }
-    return results
+                    )))
+    rows = engine.run_rows(config for _, config in specs)
+    results = {
+        protocol: {key: [] for key, _ in TABLE1_METRICS}
+        for protocol in protocols
+    }
+    for (protocol, _), row in zip(specs, rows):
+        for key, _ in TABLE1_METRICS:
+            results[protocol][key].append(extract_metric(row, key))
+    return {
+        protocol: {key: Aggregate(values) for key, values in samples.items()}
+        for protocol, samples in results.items()
+    }
 
 
 def format_table1(results, num_flows):

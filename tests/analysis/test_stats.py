@@ -53,3 +53,34 @@ def test_aggregate_overlaps():
 
 def test_aggregate_repr_contains_mean():
     assert "2" in repr(Aggregate([2.0, 2.0]))
+
+
+def test_aggregate_zero_samples():
+    agg = Aggregate([])
+    assert agg.values == []
+    assert agg.mean == 0.0
+    assert agg.ci == 0.0
+    assert agg.overlaps(agg)  # degenerate [0, 0] interval overlaps itself
+
+
+def test_aggregate_one_sample():
+    agg = Aggregate([0.75])
+    assert agg.values == [0.75]
+    assert agg.mean == 0.75
+    assert agg.ci == 0.0  # no spread estimate from a single trial
+    assert agg.overlaps(Aggregate([0.75]))
+    assert not agg.overlaps(Aggregate([0.5]))
+
+
+def test_overlaps_at_exactly_touching_endpoints():
+    # [1, 3] and [3, 5]: hi_a == lo_b.  Touching counts as overlapping —
+    # the paper's "statistically identical" reading is inclusive.
+    left = Aggregate([2.0])
+    left.ci = 1.0    # interval [1, 3]
+    right = Aggregate([4.0])
+    right.ci = 1.0   # interval [3, 5]
+    assert left.overlaps(right)
+    assert right.overlaps(left)
+    # Move right's interval an epsilon away: no longer overlapping.
+    right.mean = 4.0 + 1e-9
+    assert not left.overlaps(right)

@@ -2,6 +2,16 @@
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the trial-result cache at a per-test directory.
+
+    Keeps tests from reading or polluting the user's real cache
+    (``~/.cache/repro-ldr``) — CLI campaign commands cache by default.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "trial-cache"))
+
 from repro.metrics import MetricsCollector
 from repro.mobility import StaticPlacement
 from repro.net import Node, WirelessChannel

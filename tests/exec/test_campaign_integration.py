@@ -1,0 +1,51 @@
+"""Acceptance test: a scaled campaign, parallel + cached vs. serial.
+
+Mirrors ``repro table1 --jobs N``: the parallel run must produce metric
+values bit-identical to the serial run, and a second invocation must be
+served entirely from the cache with zero trials re-executed.
+"""
+
+from repro.experiments.campaigns import Campaign
+from repro.experiments.tables import TABLE1_METRICS, table1
+
+
+def _campaign(tmp_path, jobs, snapshots=None):
+    return Campaign(
+        duration=6.0, trials=2, num_nodes_small=10, num_nodes_large=12,
+        jobs=jobs, use_cache=True, cache_dir=tmp_path / "cache",
+        progress=None if snapshots is None else snapshots.append,
+    )
+
+
+def test_table1_parallel_cached_matches_serial(tmp_path):
+    protocols = ("ldr", "aodv")
+
+    serial = table1(2, campaign=Campaign(
+        duration=6.0, trials=2, num_nodes_small=10, num_nodes_large=12,
+    ), protocols=protocols)
+
+    first_snaps = []
+    parallel = table1(
+        2, campaign=_campaign(tmp_path, jobs=4, snapshots=first_snaps),
+        protocols=protocols,
+    )
+    # Bit-identical aggregates: every raw sample, mean, and CI.
+    for protocol in protocols:
+        for key, _ in TABLE1_METRICS:
+            assert parallel[protocol][key].values == serial[protocol][key].values
+            assert parallel[protocol][key].mean == serial[protocol][key].mean
+            assert parallel[protocol][key].ci == serial[protocol][key].ci
+    total = first_snaps[-1].total
+    assert first_snaps[-1].executed == total and total > 0
+
+    second_snaps = []
+    replay = table1(
+        2, campaign=_campaign(tmp_path, jobs=4, snapshots=second_snaps),
+        protocols=protocols,
+    )
+    # Second invocation: zero trials re-executed, same numbers.
+    assert second_snaps[-1].executed == 0
+    assert second_snaps[-1].cached == total
+    for protocol in protocols:
+        for key, _ in TABLE1_METRICS:
+            assert replay[protocol][key].values == serial[protocol][key].values

@@ -1,5 +1,7 @@
 """Unit tests for the multi-trial runner and campaign helpers."""
 
+import pytest
+
 from repro.analysis import Aggregate
 from repro.experiments import ScenarioConfig, run_protocol_comparison, run_trials
 from repro.experiments.campaigns import Campaign, node_scenario, pause_sweep
@@ -58,3 +60,26 @@ def test_campaign_defaults():
     paper = Campaign(paper_scale=True)
     assert paper.duration == 900.0
     assert paper.trials == 10
+
+
+def test_missing_metric_key_raises_clear_error():
+    from repro.experiments.runner import (
+        MissingMetricError,
+        aggregate_rows,
+        extract_metric,
+    )
+
+    row = {"delivery_ratio": 1.0}
+    with pytest.raises(MissingMetricError) as err:
+        extract_metric(row, "mean_latency")
+    message = str(err.value)
+    assert "mean_latency" in message
+    assert "delivery_ratio" in message  # names what *is* available
+    with pytest.raises(MissingMetricError):
+        aggregate_rows([row])
+
+
+def test_missing_metric_error_is_a_keyerror():
+    from repro.experiments.runner import MissingMetricError
+
+    assert issubclass(MissingMetricError, KeyError)

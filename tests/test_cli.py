@@ -54,3 +54,45 @@ def test_table1_runs_tiny(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_table1_with_jobs_and_cache(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cli-cache")
+    argv = ["table1", "--flows", "2", "--duration", "4", "--trials", "1",
+            "--jobs", "2", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    # Second invocation replays from cache and prints identical numbers.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert second == first
+    from repro.exec import ResultCache
+
+    assert ResultCache(cache_dir).stats()["entries"] > 0
+
+
+def test_no_cache_leaves_store_empty(tmp_path):
+    cache_dir = str(tmp_path / "cli-cache")
+    assert main(["table1", "--flows", "2", "--duration", "4", "--trials",
+                 "1", "--no-cache", "--cache-dir", cache_dir]) == 0
+    from repro.exec import ResultCache
+
+    assert ResultCache(cache_dir).stats()["entries"] == 0
+
+
+def test_cache_subcommand_stats_list_clear(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cli-cache")
+    assert main(["compare", "--protocols", "ldr", "--cache-dir", cache_dir]
+                + TINY) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "--cache-dir", cache_dir, "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "entries   : 1" in out
+    assert "ldr" in out
+
+    assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries   : 0" in capsys.readouterr().out
