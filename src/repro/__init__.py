@@ -53,6 +53,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AodvConfig",
     "AodvProtocol",
+    "CampaignEngine",
     "DsrConfig",
     "DsrProtocol",
     "LdrConfig",
@@ -65,6 +66,7 @@ __all__ = [
     "OlsrProtocol",
     "PROTOCOLS",
     "RandomWaypoint",
+    "ResultCache",
     "RunReport",
     "ScenarioConfig",
     "Simulator",

@@ -9,6 +9,7 @@ figure        regenerate one of Figures 2-7
 cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
+lint          determinism & protocol-conformance static analysis
 
 ``compare``, ``table1`` and ``figure`` run their trials through the
 campaign engine: ``--jobs N`` fans trials over N worker processes and
@@ -177,6 +178,12 @@ def cmd_audit(args):
     return 0 if not checker.violations else 1
 
 
+def cmd_lint(args):
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args, sys.stdout)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -225,6 +232,15 @@ def main(argv=None):
     p = sub.add_parser("audit", help="LDR loop-freedom audit")
     _add_scenario_args(p)
     p.set_defaults(func=cmd_audit)
+
+    from repro.lint.cli import build_parser as build_lint_parser
+
+    p = sub.add_parser(
+        "lint",
+        parents=[build_lint_parser(add_help=False)],
+        help="determinism & protocol-conformance static analysis",
+    )
+    p.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

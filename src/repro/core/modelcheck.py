@@ -31,7 +31,6 @@ A companion :class:`BrokenModel` removes the feasible-distance memory
 checker *does* find looping states — evidence the check has teeth.
 """
 
-import itertools
 from collections import deque
 
 MAX_SN = 2     # sequence numbers explored: 0..MAX_SN

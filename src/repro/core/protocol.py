@@ -7,7 +7,6 @@ optimizations.  One instance runs per node; it talks to the MAC through the
 """
 
 from repro.core.conditions import (
-    fdc_violated,
     ndc_accepts,
     sdc_allows_reply,
     strengthen_solicitation,

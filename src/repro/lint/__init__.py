@@ -1,0 +1,38 @@
+"""Determinism & protocol-conformance static analysis (``repro lint``).
+
+The reproduction rests on two machine-checkable guarantees:
+
+* **Determinism** — trials are bit-identical given a seed because all
+  randomness flows through named :class:`~repro.sim.rng.RngStreams` and no
+  simulation code reads wall clocks, address-dependent ``id()`` values, or
+  per-process ``hash()`` randomization.  PR 1's on-disk result cache is
+  only sound under this property.
+* **Protocol conformance** — every routing protocol exposes ``successor``
+  and ``route_metric`` and announces routing-table changes through
+  ``table_change_hook``, so the runtime
+  :class:`~repro.routing.loopcheck.LoopChecker` can audit loop freedom
+  instant by instant and can never be silently bypassed.
+
+Both were previously conventions; this package turns them into AST-level
+rules (``RL001``...) with an explicit, justified suppression mechanism
+(``# repro-lint: disable=RLxxx -- reason``).  See DESIGN.md section
+"Static-analysis gates" for the rule-by-rule rationale.
+"""
+
+from repro.lint.conformance import CONFORMANCE_RULES
+from repro.lint.config import LintConfig
+from repro.lint.core import Linter, Rule, Violation, all_rules
+from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.reporter import format_json, format_text
+
+__all__ = [
+    "CONFORMANCE_RULES",
+    "DETERMINISM_RULES",
+    "LintConfig",
+    "Linter",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "format_json",
+    "format_text",
+]

@@ -1,0 +1,125 @@
+"""``repro lint`` — run the static-analysis gate from the command line.
+
+Usage::
+
+    python -m repro lint                 # lint the shipped src/repro tree
+    python -m repro lint path/to/tree    # lint a directory (it becomes the
+                                         # layer root: protocols/x.py etc.)
+    python -m repro lint --list-rules    # rule catalogue with rationale
+    python -m repro lint --format json   # machine-readable output
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional, Sequence
+
+from repro.lint.core import Linter, all_rules
+from repro.lint.reporter import format_json, format_rule_list, format_text
+
+
+def default_root() -> Optional[Path]:
+    """Locate the shipped package tree: prefer ./src/repro, else the
+    installed package directory itself."""
+    candidate = Path("src") / "repro"
+    if (candidate / "__init__.py").is_file():
+        return candidate
+    package_dir = Path(__file__).resolve().parent.parent
+    if (package_dir / "__init__.py").is_file():
+        return package_dir
+    return None
+
+
+def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & protocol-conformance static analysis",
+        add_help=add_help,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the src/repro tree); "
+        "a single directory becomes the layer root",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory that defines layers (protocols/, sim/, ...); "
+        "defaults to the linted directory or src/repro",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with the invariant it protects and exit",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RLxxx[,RLxxx...]",
+        help="run only the named rules",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace, stream: IO[str]) -> int:
+    rules = all_rules()
+    if args.list_rules:
+        format_rule_list(rules, stream)
+        return 0
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            print(
+                "repro lint: unknown rule id(s): %s" % ", ".join(sorted(unknown)),
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    paths: List[Path] = list(args.paths)
+    root = args.root
+    if root is None:
+        if len(paths) == 1 and paths[0].is_dir():
+            root = paths[0]
+        else:
+            root = default_root()
+    if root is None:
+        print(
+            "repro lint: cannot locate a tree to lint; pass a directory or "
+            "--root",
+            file=sys.stderr,
+        )
+        return 2
+    if not paths:
+        paths = [root]
+
+    linter = Linter(root=root, rules=rules)
+    violations = linter.run(paths)
+    if args.format == "json":
+        format_json(violations, stream)
+    else:
+        format_text(violations, stream)
+    return 1 if violations else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Lint configuration: rule scoping and the explicit allowlist.
+
+Which layers a rule patrols is policy, not mechanics, so it lives here
+rather than in the rules themselves.  The allowlist is deliberately
+explicit and path-based: ``sim/rng.py`` is the *only* module allowed to
+touch the ``random`` module (it is the seeded-stream factory everything
+else must go through), and the ``exec/`` layer is allowed wall-clock reads
+because it orchestrates trials from the host's point of view (cache entry
+``created`` stamps, progress/ETA accounting) — it never runs inside the
+simulated world.
+
+Projects can extend the allowlist from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    allow = { RL002 = ["exec/new_module.py"] }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+#: Layers (top-level package directories) whose code runs *inside* the
+#: simulated world and therefore must be bit-deterministic under a seed.
+DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
+    {"sim", "net", "protocols", "routing", "mobility", "traffic", "core"}
+)
+
+#: Layers that may define RoutingProtocol subclasses subject to the
+#: conformance rules (RL1xx).
+CONFORMANCE_LAYERS: FrozenSet[str] = frozenset({"protocols", "core"})
+
+#: Methods exempt from the table-change notification rule: construction
+#: and startup run before the LoopChecker is installed.
+TABLE_EXEMPT_METHODS: FrozenSet[str] = frozenset({"__init__", "start"})
+
+#: Per-rule path allowlist.  Entries ending in "/" are directory prefixes;
+#: anything else must match the file's root-relative posix path exactly.
+DEFAULT_ALLOWLIST: Mapping[str, Tuple[str, ...]] = {
+    # The seeded-stream factory is where random.Random construction lives.
+    "RL001": ("sim/rng.py",),
+    # Host-side orchestration: cache stamps and progress ETAs read real
+    # clocks by design; trial payloads never depend on them.
+    "RL002": ("exec/",),
+}
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    deterministic_layers: FrozenSet[str] = DETERMINISTIC_LAYERS
+    conformance_layers: FrozenSet[str] = CONFORMANCE_LAYERS
+    table_exempt_methods: FrozenSet[str] = TABLE_EXEMPT_METHODS
+    allowlist: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOWLIST)
+    )
+
+    def is_allowed(self, rule_id: str, relpath: str) -> bool:
+        """True when ``relpath`` is allowlisted for ``rule_id``."""
+        for entry in self.allowlist.get(rule_id, ()):
+            if entry.endswith("/"):
+                if relpath.startswith(entry):
+                    return True
+            elif relpath == entry:
+                return True
+        return False
+
+    def extend_allowlist(self, extra: Mapping[str, Sequence[str]]) -> None:
+        for rule_id, entries in extra.items():
+            merged = tuple(self.allowlist.get(rule_id, ())) + tuple(
+                str(e) for e in entries
+            )
+            self.allowlist[rule_id] = merged
+
+
+def load_config(root: Path) -> LintConfig:
+    """Build a config, merging ``[tool.repro-lint]`` from a pyproject.toml
+    found at or above ``root`` (best effort; absent tomllib → defaults)."""
+    config = LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: ship defaults, skip pyproject.
+        return config
+    for candidate in (root, *root.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            try:
+                with open(pyproject, "rb") as handle:
+                    data = tomllib.load(handle)
+            except (OSError, tomllib.TOMLDecodeError):
+                return config
+            section = data.get("tool", {}).get("repro-lint", {})
+            allow = section.get("allow", {})
+            if isinstance(allow, dict):
+                config.extend_allowlist(
+                    {
+                        str(k): v
+                        for k, v in allow.items()
+                        if isinstance(v, (list, tuple))
+                    }
+                )
+            return config
+    return config

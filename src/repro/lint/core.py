@@ -1,0 +1,403 @@
+"""AST-walking lint engine: files, suppressions, project index, rules.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so the
+gate can run anywhere the test-suite runs.  A run has three phases:
+
+1. **Index** — every file is parsed once and class definitions are
+   collected into a :class:`ProjectIndex`, so conformance rules can reason
+   about inheritance across files (``NsrProtocol(DsrProtocol)`` conforms
+   through its base).
+2. **Check** — each rule visits each file through a :class:`FileContext`
+   that carries the file's layer (top-level directory under the lint
+   root), source lines, and the shared index.
+3. **Suppress** — ``# repro-lint: disable=RLxxx -- reason`` comments are
+   honoured; a suppression *without* a justification is itself reported
+   (RL000) and suppresses nothing, so every waiver is auditable.
+
+A suppression on a ``def``/``class`` line covers that whole definition;
+on any other line it covers that line and, when the comment stands alone,
+the next statement line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig, load_config
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=\s*"
+    r"(?P<ids>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return "%s:%d:%d: %s %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule_id,
+            self.message,
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=`` directive."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: Optional[str]
+    standalone: bool  # comment-only line (covers the next statement line)
+
+
+@dataclass
+class ClassInfo:
+    """What the project index knows about one class definition."""
+
+    name: str
+    bases: Tuple[str, ...]
+    methods: Dict[str, ast.FunctionDef]
+    relpath: str
+    line: int
+
+
+class ProjectIndex:
+    """Cross-file class registry for inheritance-aware rules."""
+
+    #: The abstract interface; deriving from it (transitively) marks a
+    #: class as a routing protocol, but its own stub methods never satisfy
+    #: the conformance rules.
+    PROTOCOL_BASE = "RoutingProtocol"
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+
+    def add_module(self, tree: ast.Module, relpath: str) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base
+                for base in (_base_name(b) for b in node.bases)
+                if base is not None
+            )
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            self.classes[node.name] = ClassInfo(
+                name=node.name,
+                bases=bases,
+                methods=methods,
+                relpath=relpath,
+                line=node.lineno,
+            )
+
+    def is_routing_protocol(self, name: str) -> bool:
+        """True when ``name`` transitively derives from RoutingProtocol."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base == self.PROTOCOL_BASE:
+                    return True
+                stack.append(base)
+        return False
+
+    def resolve_method(
+        self, class_name: str, method: str
+    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """Find ``method`` on ``class_name`` or an indexed ancestor.
+
+        The RoutingProtocol base itself is excluded: inheriting its stub
+        ``successor``/``route_metric`` is exactly the silent default the
+        conformance rules exist to forbid.
+        """
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current == self.PROTOCOL_BASE:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info, info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class FileContext:
+    """Everything a rule may want to know about one file."""
+
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+        project: ProjectIndex,
+    ) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.tree = tree
+        self.source = source
+        self.config = config
+        self.project = project
+        self.layer = relpath.split("/", 1)[0] if "/" in relpath else ""
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent for every node (built lazily, cached)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.FunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.FunctionDef):
+                return ancestor
+        return None
+
+    def violation(self, node: ast.AST, rule_id: str, message: str) -> Violation:
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """One named invariant.  Subclasses set ``id``/``title`` and implement
+    :meth:`check`; the docstring documents the invariant it protects."""
+
+    id = "RL000"
+    title = "abstract rule"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Layer gating; overridden by rule families."""
+        return True
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(","))
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rule_ids=ids,
+                reason=match.group("reason"),
+                standalone=text.lstrip().startswith("#"),
+            )
+        )
+    return suppressions
+
+
+@dataclass
+class _SuppressionSpans:
+    """Resolved (rule_id, first_line, last_line) coverage windows."""
+
+    spans: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        return any(
+            rule_id == rid and first <= line <= last
+            for rid, first, last in self.spans
+        )
+
+
+def _definition_spans(tree: ast.Module) -> Dict[int, int]:
+    """Map a ``def``/``class`` line to the definition's last line."""
+    spans: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            spans[node.lineno] = max(end, spans.get(node.lineno, node.lineno))
+    return spans
+
+
+def resolve_suppressions(
+    ctx: FileContext, suppressions: Sequence[Suppression]
+) -> Tuple[_SuppressionSpans, List[Violation]]:
+    """Turn directives into coverage spans; unjustified ones are RL000."""
+    spans = _SuppressionSpans()
+    problems: List[Violation] = []
+    def_spans = _definition_spans(ctx.tree)
+    lines = ctx.source.splitlines()
+    for suppression in suppressions:
+        if not suppression.reason:
+            problems.append(
+                Violation(
+                    path=str(ctx.path),
+                    line=suppression.line,
+                    col=0,
+                    rule_id="RL000",
+                    message=(
+                        "suppression of %s has no justification; write "
+                        "'# repro-lint: disable=%s -- <why this is safe>'"
+                        % (
+                            ",".join(suppression.rule_ids),
+                            ",".join(suppression.rule_ids),
+                        )
+                    ),
+                )
+            )
+            continue  # an unjustified suppression suppresses nothing
+        target = suppression.line
+        if suppression.standalone:
+            # Comment-only line: the directive governs the next code line.
+            for offset in range(suppression.line, len(lines) + 1):
+                candidate = lines[offset] if offset < len(lines) else ""
+                stripped = candidate.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = offset + 1
+                    break
+        last = def_spans.get(target, target)
+        for rule_id in suppression.rule_ids:
+            spans.spans.append((rule_id, min(suppression.line, target), last))
+    return spans, problems
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, determinism family first."""
+    from repro.lint.conformance import CONFORMANCE_RULES
+    from repro.lint.determinism import DETERMINISM_RULES
+
+    return [rule_cls() for rule_cls in (*DETERMINISM_RULES, *CONFORMANCE_RULES)]
+
+
+class Linter:
+    """Run a rule set over a tree of Python files.
+
+    ``root`` anchors relative paths: the first path component below it is
+    the file's *layer* (``protocols``, ``sim``, ...), which is what the
+    config uses to scope rules.  A ``src/repro`` root therefore sees the
+    same layers as a synthetic fixture tree containing ``protocols/x.py``.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        rules: Optional[Sequence[Rule]] = None,
+        config: Optional[LintConfig] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+        self.config = config if config is not None else load_config(self.root)
+
+    def collect_files(self, paths: Optional[Sequence[Path]] = None) -> List[Path]:
+        if paths:
+            files: List[Path] = []
+            for path in paths:
+                path = Path(path)
+                if path.is_dir():
+                    files.extend(sorted(path.rglob("*.py")))
+                else:
+                    files.append(path)
+            return files
+        return sorted(self.root.rglob("*.py"))
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.name
+
+    def run(self, paths: Optional[Sequence[Path]] = None) -> List[Violation]:
+        files = self.collect_files(paths)
+        project = ProjectIndex()
+        parsed: List[Tuple[Path, str, ast.Module, str]] = []
+        violations: List[Violation] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, ValueError) as exc:
+                violations.append(
+                    Violation(
+                        path=str(path),
+                        line=getattr(exc, "lineno", 1) or 1,
+                        col=0,
+                        rule_id="RL000",
+                        message="cannot lint file: %s" % exc,
+                    )
+                )
+                continue
+            relpath = self._relpath(path)
+            project.add_module(tree, relpath)
+            parsed.append((path, relpath, tree, source))
+        for path, relpath, tree, source in parsed:
+            ctx = FileContext(path, relpath, tree, source, self.config, project)
+            spans, problems = resolve_suppressions(
+                ctx, parse_suppressions(source)
+            )
+            violations.extend(problems)
+            for rule in self.rules:
+                if self.config.is_allowed(rule.id, relpath):
+                    continue
+                if not rule.applies_to(ctx):
+                    continue
+                for violation in rule.check(ctx):
+                    if not spans.covers(violation.rule_id, violation.line):
+                        violations.append(violation)
+        # Rules may visit overlapping scopes (module + nested functions);
+        # report each distinct finding once.
+        unique = sorted(
+            set(violations), key=lambda v: (v.path, v.line, v.col, v.rule_id)
+        )
+        return unique

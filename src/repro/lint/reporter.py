@@ -1,0 +1,56 @@
+"""Violation rendering for terminals, CI logs, and tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.lint.core import Rule, Violation
+
+
+def format_text(violations: Sequence[Violation], stream: IO[str]) -> None:
+    """gcc-style ``path:line:col: RLxxx message`` lines plus a summary."""
+    for violation in violations:
+        stream.write(violation.format() + "\n")
+    if violations:
+        by_rule: dict = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        breakdown = ", ".join(
+            "%s x%d" % (rule_id, count)
+            for rule_id, count in sorted(by_rule.items())
+        )
+        stream.write(
+            "repro lint: %d violation%s (%s)\n"
+            % (len(violations), "" if len(violations) == 1 else "s", breakdown)
+        )
+    else:
+        stream.write("repro lint: clean\n")
+
+
+def format_json(violations: Sequence[Violation], stream: IO[str]) -> None:
+    """Machine-readable output for editor/CI integrations."""
+    payload = [
+        {
+            "path": v.path,
+            "line": v.line,
+            "col": v.col,
+            "rule": v.rule_id,
+            "message": v.message,
+        }
+        for v in violations
+    ]
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def format_rule_list(rules: Sequence[Rule], stream: IO[str]) -> None:
+    """``--list-rules``: id, title, and the first docstring paragraph."""
+    for rule in rules:
+        stream.write("%s  %s\n" % (rule.id, rule.title))
+        doc = (type(rule).__doc__ or "").strip()
+        if doc:
+            first = doc.split("\n\n", 1)[0]
+            for line in first.splitlines():
+                stream.write("       %s\n" % line.strip())
+        stream.write("\n")

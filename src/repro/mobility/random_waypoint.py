@@ -9,7 +9,11 @@ x-axis of Figures 2–5.
 The trajectory for the whole run is *pre-generated* per node from the
 mobility RNG stream, making ``position(node, t)`` a pure function.  That
 keeps mobility identical across protocols for a given seed, which the
-paper's methodology requires.
+paper's methodology requires.  To make the seeding explicit, ``rng`` is
+mandatory: pass either a seeded ``random.Random``-like object or an
+:class:`~repro.sim.rng.RngStreams` (its ``"mobility"`` stream is drawn) —
+there is deliberately no default, so two scenarios can never share an
+identical waypoint pattern by accident.
 """
 
 import bisect
@@ -58,9 +62,14 @@ class RandomWaypoint(MobilityModel):
         rng=None,
     ):
         if rng is None:
-            import random
-
-            rng = random.Random(0)
+            raise TypeError(
+                "RandomWaypoint requires an explicit rng: pass a seeded "
+                "random.Random or an RngStreams (the 'mobility' stream is "
+                "used); an implicit default would let two scenarios share "
+                "identical mobility by accident"
+            )
+        if hasattr(rng, "stream"):  # RngStreams: draw the named stream
+            rng = rng.stream("mobility")
         self.num_nodes = num_nodes
         self.width = float(width)
         self.height = float(height)

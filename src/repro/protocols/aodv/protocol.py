@@ -191,6 +191,19 @@ class AodvProtocol(RoutingProtocol):
             return entry.next_hop
         return None
 
+    def route_metric(self, dst):
+        """Explicitly None: AODV's destination sequence numbers do not
+        carry the LDR feasible-distance invariant.
+
+        Any node may increment a destination's number on a route break
+        (RFC 3561 §6.11), so equal-sn comparisons between neighbors say
+        nothing about path ordering — this is exactly the behaviour the
+        paper contrasts with LDR (and why van Glabbeek et al. showed
+        sequence numbers alone do not guarantee loop freedom).  The loop
+        checker therefore audits AODV for acyclicity only.
+        """
+        return None
+
     def own_sequence_value(self):
         """This node's own destination sequence number (Fig. 7)."""
         return self.own_seq
@@ -250,6 +263,9 @@ class AodvProtocol(RoutingProtocol):
         entry = self.table.get(dst)
         if entry is None:
             entry = AodvRouteEntry(dst)
+            # repro-lint: disable=RL103 -- creates an entry only to hold the
+            # bumped seqno; it is born invalid, so successor(dst) is None
+            # before and after and the loop audit has nothing new to see.
             self.table[dst] = entry
         entry.seq += 1
         entry.seq_valid = True

@@ -164,6 +164,17 @@ class DsrProtocol(RoutingProtocol):
             return route[1]
         return None
 
+    def route_metric(self, dst):
+        """Explicitly None: DSR has no sequence numbers or feasible
+        distances to audit.
+
+        Source routes are loop-free by construction (a route never
+        repeats a node), so the LDR ordering criterion has no analogue;
+        the loop checker audits the cached-route successor graph for
+        acyclicity only.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # data plane (source routing)
     # ------------------------------------------------------------------

@@ -216,6 +216,9 @@ class DualProtocol(RoutingProtocol):
         state = self.dests.get(dst)
         if state is None:
             state = _DestState()
+            # repro-lint: disable=RL103 -- lazy creation of an empty state
+            # with dist=INFINITY; successor(dst) is None before and after,
+            # so no successor-graph edge appears without a later notify.
             self.dests[dst] = state
         return state
 
@@ -334,7 +337,8 @@ class DualProtocol(RoutingProtocol):
                 if best is None or candidate[1] < best[1]:
                     best = candidate
         frozen = best[1] if best else INFINITY
-        for neighbor in audience:
+        # Sorted so the query fan-out order never depends on set hashing.
+        for neighbor in sorted(audience):
             query = DualQuery(self.node_id, dst, frozen)
             if self.metrics is not None:
                 self.metrics.on_control_initiated(self.node_id, query)

@@ -97,7 +97,9 @@ class NeighborState:
         """
         sym = set(self.symmetric_neighbors(now))
         coverage = {}
-        for neighbor in sym:
+        # Sorted iteration pins the coverage-map insertion order (and so
+        # the greedy max() tie-scan below) independent of set hashing.
+        for neighbor in sorted(sym):
             two_hop, expiry = self.two_hop.get(neighbor, (set(), 0.0))
             if expiry <= now:
                 continue
@@ -109,11 +111,11 @@ class NeighborState:
             uncovered |= nodes
         mprs = set()
         # Mandatory: sole providers.
-        for target in set(uncovered):
+        for target in sorted(uncovered):
             providers = [n for n, cov in coverage.items() if target in cov]
             if len(providers) == 1:
                 mprs.add(providers[0])
-        for chosen in mprs:
+        for chosen in sorted(mprs):
             uncovered -= coverage.get(chosen, set())
         # Greedy: most coverage first (ties broken by id for determinism).
         while uncovered:

@@ -169,6 +169,17 @@ class OlsrProtocol(RoutingProtocol):
         route = self.routes.get(dst)
         return route[0] if route is not None else None
 
+    def route_metric(self, dst):
+        """Explicitly None: OLSR is link-state, not distance-vector.
+
+        Routes come from a shortest-path computation over the topology
+        database; there are no per-destination sequence numbers or
+        feasible distances for the LDR ordering audit to compare.  The
+        loop checker audits the BFS-derived successor graph for
+        acyclicity only.
+        """
+        return None
+
     def _on_data(self, packet, from_id):
         packet.hops += 1  # one link traversed, even when we are the sink
         if packet.dst == self.node_id:

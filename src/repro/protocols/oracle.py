@@ -57,6 +57,15 @@ class OracleProtocol(RoutingProtocol):
     def successor(self, dst):
         return self._next_hop(dst)
 
+    def route_metric(self, dst):
+        """Explicitly None: the oracle keeps no routing state at all.
+
+        Every forwarding decision is a fresh BFS over the true topology —
+        there are no tables, sequence numbers, or feasible distances to
+        order.  A shortest-path tree is acyclic by construction.
+        """
+        return None
+
     def _next_hop(self, dst):
         """BFS over the true topology, first hop of a shortest path."""
         channel = self.node.channel

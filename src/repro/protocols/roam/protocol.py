@@ -299,6 +299,9 @@ class RoamProtocol(RoutingProtocol):
         state = self.dests.get(dst)
         if state is None:
             state = _DestState()
+            # repro-lint: disable=RL103 -- lazy creation of an empty state
+            # with dist=INFINITY; successor(dst) is None before and after,
+            # so no successor-graph edge appears without a later notify.
             self.dests[dst] = state
         return state
 
@@ -312,7 +315,8 @@ class RoamProtocol(RoutingProtocol):
         state.active = True
         state.active_since = self.sim.now
         state.pending_replies = set(audience)
-        for neighbor in audience:
+        # Sorted so the query fan-out order never depends on set hashing.
+        for neighbor in sorted(audience):
             query = RoamQuery(self.node_id, dst)
             if self.metrics is not None:
                 self.metrics.on_control_initiated(self.node_id, query)

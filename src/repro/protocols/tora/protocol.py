@@ -199,6 +199,17 @@ class ToraProtocol(RoutingProtocol):
             return None
         return self._downstream(dst, state)
 
+    def route_metric(self, dst):
+        """Explicitly None: TORA orders nodes by heights, not by the
+        paper's (sn, fd) labels.
+
+        Loop freedom comes from the total order on heights (links are
+        directed from higher to lower), which the acyclicity walk already
+        exercises; there is no sequence-number/feasible-distance pair for
+        the LDR ordering audit to check.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # heights and the DAG
     # ------------------------------------------------------------------
@@ -208,6 +219,9 @@ class ToraProtocol(RoutingProtocol):
             state = _DestState()
             if dst == self.node_id:
                 state.height = (0.0, 0, 0, 0, self.node_id)
+            # repro-lint: disable=RL103 -- lazy creation: height is None
+            # (no downstream link exists) except for this node's own zero
+            # height, and the audit walk stops at the destination itself.
             self.dests[dst] = state
         return state
 

@@ -6,8 +6,11 @@ order they were scheduled (FIFO), which keeps simulations deterministic and
 makes protocol races reproducible across runs with the same seed.
 """
 
+from __future__ import annotations
+
 import heapq
 import itertools
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 
 class Event:
@@ -21,21 +24,27 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
 
-    def cancel(self):
+    def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
         self.cancelled = True
 
-    def __lt__(self, other):
+    def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
         return "Event(t={:.6f}, {}, {})".format(
             self.time, getattr(self.callback, "__name__", self.callback), state
@@ -54,18 +63,20 @@ class EventScheduler:
     ['b', 'a']
     """
 
-    def __init__(self):
-        self._heap = []
-        self._seq = itertools.count()
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq: Iterator[int] = itertools.count()
         self._now = 0.0
         self._running = False
 
     @property
-    def now(self):
+    def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
-    def schedule(self, delay, callback, *args):
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, which may be cancelled.  Negative delays
@@ -77,17 +88,19 @@ class EventScheduler:
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_at(self, time, callback, *args):
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
         return self.schedule(time - self._now, callback, *args)
 
-    def peek_time(self):
+    def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
-    def step(self):
+    def step(self) -> bool:
         """Run the single next event.  Returns ``False`` when none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
@@ -98,7 +111,9 @@ class EventScheduler:
             return True
         return False
 
-    def run(self, until=None, max_events=None):
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run events in order until the heap drains or limits are hit.
 
         ``until`` is an absolute simulation time; events at exactly ``until``
@@ -120,6 +135,6 @@ class EventScheduler:
         if until is not None and self._now < until:
             self._now = until
 
-    def pending_count(self):
+    def pending_count(self) -> int:
         """Number of non-cancelled events still queued (O(n), for tests)."""
         return sum(1 for e in self._heap if not e.cancelled)

@@ -8,8 +8,11 @@ property the paper relies on when it reuses "the same mobility and traffic
 load patterns" between GloMoSim and QualNet runs.
 """
 
+from __future__ import annotations
+
 import random
 import zlib
+from typing import Dict
 
 
 class RngStreams:
@@ -20,11 +23,11 @@ class RngStreams:
     order.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
-        self._streams = {}
+        self._streams: Dict[str, random.Random] = {}
 
-    def stream(self, name):
+    def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
         rng = self._streams.get(name)
         if rng is None:
@@ -35,5 +38,5 @@ class RngStreams:
             self._streams[name] = rng
         return rng
 
-    def __contains__(self, name):
+    def __contains__(self, name: str) -> bool:
         return name in self._streams

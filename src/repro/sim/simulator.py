@@ -6,35 +6,48 @@ lives in :mod:`repro.net` and :mod:`repro.experiments`, not here — the
 kernel stays protocol-agnostic.
 """
 
-from repro.sim.events import EventScheduler
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event, EventScheduler
 from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:
+    import random
 
 
 class Simulator:
     """Owns the event loop and randomness for one simulation run."""
 
-    def __init__(self, seed=0):
+    def __init__(self, seed: int = 0) -> None:
         self.scheduler = EventScheduler()
         self.rng = RngStreams(seed)
         self.seed = seed
 
     @property
-    def now(self):
+    def now(self) -> float:
         """Current simulation time in seconds."""
         return self.scheduler.now
 
-    def schedule(self, delay, callback, *args):
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         return self.scheduler.schedule(delay, callback, *args)
 
-    def schedule_at(self, time, callback, *args):
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         return self.scheduler.schedule_at(time, callback, *args)
 
-    def run(self, until=None, max_events=None):
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Drive the event loop; see :meth:`EventScheduler.run`."""
         self.scheduler.run(until=until, max_events=max_events)
 
-    def stream(self, name):
+    def stream(self, name: str) -> random.Random:
         """Named deterministic RNG stream (see :class:`RngStreams`)."""
         return self.rng.stream(name)

@@ -6,6 +6,13 @@ logic: route lifetimes, RREQ retries, hello intervals, engagement caches.
 code reads declaratively (``self.retry_timer.restart(2 * ttl * latency)``).
 """
 
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
 
 class Timer:
     """A one-shot timer bound to a simulator and a callback.
@@ -14,38 +21,41 @@ class Timer:
     method.  Restarting an armed timer cancels the previous expiry.
     """
 
-    def __init__(self, sim, callback):
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim
         self._callback = callback
-        self._event = None
+        self._event: Optional[Event] = None
 
     @property
-    def armed(self):
+    def armed(self) -> bool:
         """True while an expiry is pending."""
         return self._event is not None and not self._event.cancelled
 
     @property
-    def expires_at(self):
+    def expires_at(self) -> Optional[float]:
         """Absolute expiry time, or ``None`` when idle."""
-        return self._event.time if self.armed else None
+        event = self._event
+        if event is not None and not event.cancelled:
+            return event.time
+        return None
 
-    def start(self, delay):
+    def start(self, delay: float) -> None:
         """Arm the timer ``delay`` seconds from now (error if already armed)."""
         if self.armed:
             raise RuntimeError("timer already armed; use restart()")
         self._event = self._sim.schedule(delay, self._fire)
 
-    def restart(self, delay):
+    def restart(self, delay: float) -> None:
         """Arm the timer, cancelling any pending expiry first."""
         self.cancel()
         self._event = self._sim.schedule(delay, self._fire)
 
-    def cancel(self):
+    def cancel(self) -> None:
         """Disarm; a no-op when idle."""
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
-    def _fire(self):
+    def _fire(self) -> None:
         self._event = None
         self._callback()

@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import LdrProtocol
-from repro.core.messages import LdrRrep
 from repro.core.modelcheck import LdrModel, NodeLabel
 from repro.mobility import StaticPlacement
 from repro.routing.seqnum import LabeledSeq

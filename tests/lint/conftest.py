@@ -1,0 +1,28 @@
+"""Helpers for exercising lint rules against synthetic source trees."""
+
+import pytest
+
+from repro.lint import Linter
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a fixture root and lint it.
+
+    The fixture root plays the role of ``src/repro``: a file written at
+    ``protocols/foo.py`` is analysed as protocol-layer code.
+    Returns the violation list.
+    """
+
+    def run(files, rules=None):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return Linter(root=tmp_path, rules=rules).run()
+
+    return run
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]

@@ -1,0 +1,55 @@
+"""``python -m repro lint`` end to end (the acceptance-criteria paths)."""
+
+import json
+
+from repro.__main__ import main
+
+
+def _fixture_tree(tmp_path):
+    bad = tmp_path / "protocols" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import random\n\n\ndef jitter():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_lint_fails_on_direct_random_in_protocols(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    assert main(["lint", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+    assert "bad.py" in out
+
+
+def test_lint_passes_on_shipped_tree(capsys):
+    assert main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    assert main(["lint", "--format", "json", str(tree)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and payload[0]["rule"] == "RL001"
+    assert payload[0]["line"] == 1
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                    "RL101", "RL102", "RL103"):
+        assert rule_id in out
+
+
+def test_lint_select_subset(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    # Only the conformance family selected: the random import is ignored.
+    assert main(["lint", "--select", "RL103", str(tree)]) == 0
+    capsys.readouterr()
+
+
+def test_lint_select_unknown_rule_is_usage_error(tmp_path):
+    assert main(["lint", "--select", "RL999", str(tmp_path)]) == 2

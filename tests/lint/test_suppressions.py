@@ -1,0 +1,59 @@
+"""The suppression contract: justified waivers work, silent ones don't."""
+
+from tests.lint.conftest import rule_ids
+
+PROTO = "protocols/fake.py"
+
+
+def test_justified_suppression_silences_rule(lint_tree):
+    source = (
+        "import random  # repro-lint: disable=RL001 -- fixture exercising "
+        "the waiver path\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+def test_unjustified_suppression_is_flagged_and_ineffective(lint_tree):
+    source = "import random  # repro-lint: disable=RL001\n"
+    ids = rule_ids(lint_tree({PROTO: source}))
+    # The naked waiver is itself reported AND the original violation stands.
+    assert "RL000" in ids
+    assert "RL001" in ids
+
+
+def test_standalone_comment_covers_next_statement(lint_tree):
+    source = (
+        "# repro-lint: disable=RL001 -- fixture: waiver on its own line\n"
+        "import random\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+def test_suppression_on_def_line_covers_body(lint_tree):
+    source = (
+        "def f():  # repro-lint: disable=RL005 -- fixture: whole-function waiver\n"
+        "    a = hash('x')\n"
+        "    b = hash('y')\n"
+        "    return a + b\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+def test_suppression_only_covers_named_rule(lint_tree):
+    source = (
+        "import random  # repro-lint: disable=RL002 -- fixture: wrong rule id\n"
+    )
+    assert "RL001" in rule_ids(lint_tree({PROTO: source}))
+
+
+def test_suppression_multiple_ids(lint_tree):
+    source = (
+        "def f(x):  # repro-lint: disable=RL004,RL005 -- fixture: both waived\n"
+        "    return hash(x) + id(x)\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+def test_unparsable_file_reports_rl000(lint_tree):
+    violations = lint_tree({PROTO: "def broken(:\n"})
+    assert rule_ids(violations) == ["RL000"]

@@ -3,10 +3,12 @@
 import math
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mobility import RandomWaypoint
+from repro.sim.rng import RngStreams
 
 
 def _model(pause=0.0, seed=1, duration=100.0, max_speed=20.0):
@@ -97,3 +99,32 @@ def test_property_continuity(seed, t):
         ax, ay = model.position(node, t)
         bx, by = model.position(node, t + dt)
         assert math.hypot(bx - ax, by - ay) <= 20.0 * dt + 1e-6
+
+
+def test_rng_is_mandatory():
+    # An implicit default rng would let two scenarios silently share
+    # identical mobility; construction without one must fail loudly.
+    with pytest.raises(TypeError, match="explicit rng"):
+        RandomWaypoint(num_nodes=2, width=100.0, height=100.0)
+
+
+def test_accepts_rng_streams_and_draws_the_mobility_stream():
+    streams = RngStreams(seed=42)
+    via_streams = RandomWaypoint(
+        num_nodes=3, width=1000.0, height=300.0, duration=50.0, rng=streams
+    )
+    direct = RandomWaypoint(
+        num_nodes=3, width=1000.0, height=300.0, duration=50.0,
+        rng=RngStreams(seed=42).stream("mobility"),
+    )
+    for node in range(3):
+        for t in (0.0, 10.0, 25.0, 49.0):
+            assert via_streams.position(node, t) == direct.position(node, t)
+
+
+def test_scenarios_with_different_seeds_get_different_mobility():
+    a = RandomWaypoint(num_nodes=2, width=1000.0, height=300.0,
+                       duration=50.0, rng=RngStreams(seed=1))
+    b = RandomWaypoint(num_nodes=2, width=1000.0, height=300.0,
+                       duration=50.0, rng=RngStreams(seed=2))
+    assert a.position(0, 25.0) != b.position(0, 25.0)

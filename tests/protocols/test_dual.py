@@ -1,7 +1,7 @@
 """Behavioural tests for the DUAL substrate."""
 
 from repro.mobility import StaticPlacement
-from repro.protocols.dual import DualConfig, DualProtocol
+from repro.protocols.dual import DualProtocol
 from repro.protocols.dual.protocol import INFINITY
 from repro.routing import LoopChecker
 from tests.conftest import Network

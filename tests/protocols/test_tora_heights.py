@@ -1,6 +1,6 @@
 """Property tests on TORA's height ordering."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 heights = st.tuples(

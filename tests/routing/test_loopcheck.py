@@ -107,6 +107,100 @@ def test_ordering_violation_older_downstream_sn():
         LoopChecker(protos, check_ordering=True).check_destination(0)
 
 
+def test_loop_error_names_the_cycle():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}),
+        _FakeProtocol(2, {0: 3}),
+        _FakeProtocol(3, {0: 2}),  # 2 -> 3 -> 2, entered from 1
+    ]
+    with pytest.raises(LoopError) as excinfo:
+        LoopChecker(protos, check_ordering=False).check_destination(0)
+    # The message pinpoints the cycle, not the entry path.
+    assert "[2, 3, 2]" in str(excinfo.value)
+
+
+def test_ordering_violation_mid_chain_detected():
+    # 1 -> 2 is healthy; the older-sn hop hides at 2 -> 3, mid-walk.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (7, 4, 5)}),
+        _FakeProtocol(2, {0: 3}, {0: (7, 3, 3)}),
+        _FakeProtocol(3, {0: 0}, {0: (6, 1, 1)}),  # down_sn < up_sn
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_ordering_violation_recorded_in_violations_list():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (6, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 1, 1)}),
+    ]
+    checker = LoopChecker(protos, check_ordering=True)
+    with pytest.raises(LoopError):
+        checker.check_destination(0)
+    assert checker.violations == [(1, 2, 0)]
+
+
+def test_equal_sn_equal_fd_is_a_violation():
+    # FDC requires *strict* decrease at equal sn; fd equality along a hop
+    # would allow the mutual-successor pattern the paper's SDC forbids.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (5, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 3, 3)}),
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_early_advance_then_fd_ordering_resumes_downstream():
+    # 2 advanced past 1 (down_sn > up_sn: benign), and 2 -> 3 must again
+    # satisfy the equal-sn strict-fd decrease.  Nothing raises here.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (5, 3, 4)}),
+        _FakeProtocol(2, {0: 3}, {0: (6, 9, 9)}),
+        _FakeProtocol(3, {0: 0}, {0: (6, 2, 2)}),
+    ]
+    LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_missing_metric_skips_ordering_but_still_walks():
+    # A protocol returning route_metric=None is audited for acyclicity
+    # only — and a loop must still be caught on that same walk.
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}),  # no metrics at all
+        _FakeProtocol(2, {0: 1}),
+    ]
+    with pytest.raises(LoopError):
+        LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_hop_into_destination_is_not_ordering_checked():
+    # The destination's own metric (sn resets, fd 0) never constrains the
+    # last hop; only intermediate hops are compared.
+    protos = [
+        _FakeProtocol(0, {}, {0: (0, 0, 0)}),
+        _FakeProtocol(1, {0: 0}, {0: (9, 1, 1)}),
+    ]
+    LoopChecker(protos, check_ordering=True).check_destination(0)
+
+
+def test_check_ordering_false_ignores_metric_violations():
+    protos = [
+        _FakeProtocol(0),
+        _FakeProtocol(1, {0: 2}, {0: (6, 3, 4)}),
+        _FakeProtocol(2, {0: 0}, {0: (5, 1, 1)}),  # would violate ordering
+    ]
+    checker = LoopChecker(protos, check_ordering=False)
+    checker.check_destination(0)
+    assert checker.violations == []
+
+
 def test_install_wires_hooks():
     protos = [_FakeProtocol(0), _FakeProtocol(1, {0: 0})]
     checker = LoopChecker(protos, check_ordering=False).install()
