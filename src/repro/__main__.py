@@ -3,9 +3,13 @@
 Commands
 --------
 run           one scenario, print the paper's metrics
+              (``--faults PLAN.json`` injects a fault plan;
+              ``--invariants`` turns on the invariant monitor)
 compare       several protocols on the identical workload
 table1        regenerate Table 1 for a flow count
 figure        regenerate one of Figures 2-7
+campaign      named extra campaigns (``churn``: crash/reboot/partition
+              grids over LDR vs AODV vs DSR with the monitor on)
 cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
@@ -30,7 +34,8 @@ from repro.experiments import (
     build_scenario,
     run_scenario,
 )
-from repro.experiments.campaigns import Campaign
+from repro.experiments.campaigns import Campaign, churn_table, format_churn
+from repro.faults import FaultPlan, FaultPlanError
 from repro.experiments.figures import (
     figure_delivery,
     figure_qualnet_crosscheck,
@@ -86,9 +91,33 @@ def _scenario_from(args, protocol=None):
     )
 
 
+def _load_fault_plan(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    return FaultPlan.from_dict(data)
+
+
 def cmd_run(args):
-    report = run_scenario(_scenario_from(args))
+    config = _scenario_from(args)
+    if args.faults:
+        try:
+            config = config.replaced(fault_plan=_load_fault_plan(args.faults))
+        except (OSError, ValueError) as err:  # FaultPlanError is a ValueError
+            print("cannot load fault plan %s: %s" % (args.faults, err),
+                  file=sys.stderr)
+            return 2
+    if args.invariants or config.fault_plan is not None:
+        config = config.replaced(invariant_check=True)
+    scenario = build_scenario(config)
+    if config.fault_plan is not None and sys.stderr.isatty():
+        print(config.fault_plan.describe(), file=sys.stderr)
+    report = scenario.run()
     print(json.dumps(report.as_dict(), indent=2))
+    if scenario.monitor is not None and scenario.monitor.violations:
+        for when, kind, detail in scenario.monitor.violations:
+            print("VIOLATION t=%-10g %-18s %s" % (when, kind, detail),
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -137,6 +166,20 @@ def cmd_figure(args):
     ylabel = "mean destination seqno" if args.name == "fig7" else "delivery ratio"
     print(format_series(series, "Figure %s" % args.name[3:], ylabel=ylabel))
     return 0
+
+
+def cmd_campaign(args):
+    campaign = _campaign_from(args)
+    if args.name == "churn":
+        table = churn_table(campaign)
+        print(format_churn(table))
+        total = sum(row["invariant_violations"] for row in table)
+        if total:
+            print("\n%d invariant violation(s) across the campaign"
+                  % total, file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError("unreachable: argparse restricts choices")
 
 
 def cmd_cache(args):
@@ -190,6 +233,12 @@ def main(argv=None):
 
     p = sub.add_parser("run", help="run one scenario")
     _add_scenario_args(p)
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject the fault plan serialized in this JSON file "
+                        "(see examples/churn_plan.json)")
+    p.add_argument("--invariants", action="store_true",
+                   help="run the invariant monitor (implied by --faults); "
+                        "exit 1 on any violation")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="compare protocols on one workload")
@@ -214,6 +263,14 @@ def main(argv=None):
     p.add_argument("--trials", type=int, default=None)
     _add_exec_args(p)
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("campaign", help="run a named extra campaign")
+    p.add_argument("name", choices=["churn"])
+    p.add_argument("--paper-scale", action="store_true")
+    p.add_argument("--duration", type=float, default=None)
+    p.add_argument("--trials", type=int, default=None)
+    _add_exec_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("--cache-dir", default=None,

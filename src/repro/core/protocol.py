@@ -39,7 +39,10 @@ class LdrProtocol(RoutingProtocol):
         )
         # Destination-controlled sequence number for *this* node.  The
         # paper's (timestamp, counter) label; only we may increment it.
-        self.own_seq = LabeledSeq(0.0, 0)
+        # The timestamp is taken from the clock at (re)boot — Section 3's
+        # reboot story: losing state zeroes the counter, but the fresh
+        # boot-time stamp keeps the label monotone across incarnations.
+        self.own_seq = LabeledSeq(self.sim.now, 0)
         self.own_seq_increments = 0
         self._next_rreqid = 0
         cost_model = self.config.link_cost
@@ -67,6 +70,13 @@ class LdrProtocol(RoutingProtocol):
         if not self.buffer.push(dst, packet):
             self.drop_data(packet, "buffer_full")
         self._ensure_discovery(dst)
+
+    def stop(self):
+        """Node crash: cancel discovery timers so the instance goes quiet."""
+        super().stop()
+        for comp in self.computations.values():
+            comp.timer.cancel()
+        self.computations.clear()
 
     def on_packet(self, packet, from_id):
         if isinstance(packet, DataPacket):

@@ -23,7 +23,9 @@ import repro
 
 #: Bump when the cached row format or anything influencing simulation
 #: results changes without a package version bump.
-CACHE_SCHEMA = 1
+#: 2: rows gained loop_violations / invariant_violations / invariant_breakdown
+#:    and configs gained fault_plan + invariant_check fields.
+CACHE_SCHEMA = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

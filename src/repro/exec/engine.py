@@ -130,6 +130,10 @@ class CampaignEngine:
         self.progress = progress
         self.mp_context = mp_context
         self._start = None
+        #: Out-of-band warnings emitted during the last :meth:`run`
+        #: (currently: worker-pool breakdowns).  Also forwarded to the
+        #: progress callback as ``Progress.note``.
+        self.warnings = []
 
     # -- public API ----------------------------------------------------
 
@@ -143,6 +147,7 @@ class CampaignEngine:
         """
         trials = [TrialResult(i, c) for i, c in enumerate(configs)]
         self._start = time.monotonic()
+        self.warnings = []
         pending = []
         for trial in trials:
             try:
@@ -233,13 +238,22 @@ class CampaignEngine:
                             future = pool.submit(_worker.run_trial_payload,
                                                  self._payload(trial))
                             futures[future] = trial
-        except BrokenProcessPool:
+        except BrokenProcessPool as err:
             # A worker died hard (segfault/OOM) and took the pool with it.
             # Finish whatever is still unsettled in-process so the
             # campaign degrades instead of crashing.
-            for trial in poolable:
-                if trial.row is None and trial.error is None:
-                    self._run_local(trial, trials)
+            survivors = [t for t in poolable
+                         if t.row is None and t.error is None]
+            for trial in survivors:
+                # The in-flight attempt died *with the pool*, it was never
+                # observed to fail — refund it so pool breakdown does not
+                # eat into the trial's retry budget.
+                trial.attempts = max(0, trial.attempts - 1)
+            self._warn(trials,
+                       "worker pool broke (%s); finishing %d trial(s) "
+                       "in-process" % (err, len(survivors)))
+            for trial in survivors:
+                self._run_local(trial, trials)
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -249,7 +263,12 @@ class CampaignEngine:
             self.cache.put(trial.key, trial.row, config=trial.config)
         self._emit(trials)
 
-    def _emit(self, trials):
+    def _warn(self, trials, message):
+        """Record a warning and push it through the progress reporter."""
+        self.warnings.append(message)
+        self._emit(trials, note=message)
+
+    def _emit(self, trials, note=None):
         if self.progress is None:
             return
         executed = cached = failed = 0
@@ -267,4 +286,5 @@ class CampaignEngine:
             cached=cached,
             failed=failed,
             elapsed=time.monotonic() - self._start,
+            note=note,
         ))

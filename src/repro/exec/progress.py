@@ -10,17 +10,25 @@ import sys
 
 
 class Progress:
-    """An immutable snapshot of a running campaign."""
+    """An immutable snapshot of a running campaign.
 
-    __slots__ = ("total", "done", "executed", "cached", "failed", "elapsed")
+    ``note`` carries an out-of-band warning the user must see even on a
+    single-status-line display — e.g. the worker pool died and the engine
+    is degrading to in-process execution.
+    """
 
-    def __init__(self, total, done, executed, cached, failed, elapsed):
+    __slots__ = ("total", "done", "executed", "cached", "failed", "elapsed",
+                 "note")
+
+    def __init__(self, total, done, executed, cached, failed, elapsed,
+                 note=None):
         self.total = total
         self.done = done
         self.executed = executed
         self.cached = cached
         self.failed = failed
         self.elapsed = elapsed
+        self.note = note
 
     @property
     def remaining(self):
@@ -63,6 +71,10 @@ def console_progress(stream=None):
     stream = stream if stream is not None else sys.stderr
 
     def callback(progress):
+        if progress.note:
+            # Warnings get their own full line so the next status
+            # overwrite cannot erase them.
+            stream.write("\nwarning: %s\n" % progress.note)
         end = "\n" if progress.done == progress.total else "\r"
         stream.write(format_progress(progress) + end)
         stream.flush()

@@ -17,9 +17,21 @@ scale.
 """
 
 from repro.experiments.scenario import ScenarioConfig
+from repro.faults import (
+    FaultPlan,
+    NodeCrash,
+    NodeReboot,
+    PacketFuzz,
+    Partition,
+)
 
 #: Protocols compared throughout the evaluation.
 COMPARED_PROTOCOLS = ("ldr", "aodv", "dsr", "olsr")
+
+#: Protocols compared in the churn (fault-injection) campaign.  OLSR is
+#: excluded: its proactive flooding makes short scaled runs dominated by
+#: warm-up, which says nothing about fault recovery.
+CHURN_PROTOCOLS = ("ldr", "aodv", "dsr")
 
 
 def node_scenario(num_nodes, num_flows, pause_time, duration, seed=1,
@@ -92,6 +104,9 @@ class Campaign:
     def pauses(self):
         return pause_sweep(self.duration, self.paper_scale)
 
+    def seeds(self):
+        return range(1, self.trials + 1)
+
     def engine(self, progress=None):
         """Build the campaign's :class:`CampaignEngine`."""
         from repro.exec import CampaignEngine, ResultCache
@@ -101,3 +116,139 @@ class Campaign:
             jobs=self.jobs, cache=cache, retries=self.retries,
             timeout=self.timeout, progress=progress or self.progress,
         )
+
+
+# ---------------------------------------------------------------------------
+# Churn campaign (fault injection)
+# ---------------------------------------------------------------------------
+
+def _crash_victims(num_nodes):
+    """~10% of the nodes, spread evenly across the id space.
+
+    Deterministic by construction — victim choice is part of the plan,
+    never drawn at run time — so the same campaign always injects the
+    same faults and cache keys stay stable.
+    """
+    count = max(1, num_nodes // 10)
+    return [(j + 1) * num_nodes // (count + 1) for j in range(count)]
+
+
+def churn_plans(duration, num_nodes):
+    """The named fault plans of the churn campaign, scaled to ``duration``.
+
+    Returns ``[(name, FaultPlan-or-None), ...]`` in presentation order:
+
+    ``baseline``   no faults (monitor still on — the control row)
+    ``crash``      ~10% of nodes fail permanently at 30% of the run
+    ``reboot``     the same nodes fail, then reboot with zeroed counters
+                   at 55% — the paper's "loss of state" recovery story
+    ``partition``  the terrain splits into halves for 20% of the run,
+                   then heals; re-convergence is audited
+    ``fuzz``       a 40%-of-the-run window of corrupted / duplicated /
+                   delayed receptions from the ``faults`` RNG stream
+    """
+    victims = _crash_victims(num_nodes)
+    t_crash = round(0.30 * duration, 3)
+    t_reboot = round(0.55 * duration, 3)
+    half = num_nodes // 2
+    groups = [list(range(half)), list(range(half, num_nodes))]
+    bound = max(round(0.25 * duration, 3), 1.0)
+    return [
+        ("baseline", None),
+        ("crash", FaultPlan(
+            events=[NodeCrash(node, t_crash) for node in victims],
+        )),
+        ("reboot", FaultPlan(
+            events=(
+                [NodeCrash(node, t_crash) for node in victims]
+                + [NodeReboot(node, t_reboot) for node in victims]
+            ),
+        )),
+        ("partition", FaultPlan(
+            events=[Partition(groups, round(0.40 * duration, 3),
+                              round(0.60 * duration, 3))],
+            reconvergence_bound=bound,
+        )),
+        ("fuzz", FaultPlan(
+            events=[PacketFuzz(round(0.30 * duration, 3),
+                               round(0.70 * duration, 3),
+                               corrupt=0.05, duplicate=0.02, delay=0.05)],
+        )),
+    ]
+
+
+def churn_grid(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
+    """Every (fault plan x protocol x seed) trial of the churn campaign.
+
+    Returns ``(labels, configs)`` where ``labels[i]`` is the
+    ``(fault_name, protocol)`` pair describing ``configs[i]``.  Every
+    config has the invariant monitor enabled, so violations land in the
+    result rows (and in the cache — a changed plan is a changed key).
+    """
+    labels = []
+    configs = []
+    for fault_name, plan in churn_plans(campaign.duration,
+                                        campaign.num_nodes_small):
+        for protocol in protocols:
+            for seed in campaign.seeds():
+                labels.append((fault_name, protocol))
+                configs.append(node_scenario(
+                    campaign.num_nodes_small, num_flows, 0.0,
+                    campaign.duration, seed=seed, protocol=protocol,
+                    fault_plan=plan, invariant_check=True,
+                ))
+    return labels, configs
+
+
+def churn_table(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
+    """Run the churn grid and aggregate per (fault plan, protocol).
+
+    Delivery ratio and control overhead are averaged over trials;
+    violation counts are summed — a single loop anywhere in the campaign
+    should be visible, not averaged away.
+    """
+    labels, configs = churn_grid(campaign, protocols, num_flows)
+    rows = campaign.engine().run_rows(configs)
+    buckets = {}
+    for label, row in zip(labels, rows):
+        buckets.setdefault(label, []).append(row)
+    table = []
+    for fault_name, _ in churn_plans(campaign.duration,
+                                     campaign.num_nodes_small):
+        for protocol in protocols:
+            trials = buckets[(fault_name, protocol)]
+            n = len(trials)
+            table.append({
+                "fault": fault_name,
+                "protocol": protocol,
+                "trials": n,
+                "delivery_ratio":
+                    sum(r["delivery_ratio"] for r in trials) / n,
+                "network_load":
+                    sum(r["network_load"] for r in trials) / n,
+                "control_transmissions":
+                    sum(r["control_transmissions"] for r in trials) / n,
+                "loop_violations":
+                    sum(r["loop_violations"] for r in trials),
+                "invariant_violations":
+                    sum(r["invariant_violations"] for r in trials),
+            })
+    return table
+
+
+def format_churn(table):
+    """Render the churn table the way the paper renders Table 1."""
+    header = ("{:<11}{:<7}{:>10}{:>12}{:>12}{:>7}{:>11}".format(
+        "fault", "proto", "delivery", "ctl/data", "ctl-tx", "loops",
+        "invariant"))
+    lines = [header, "-" * len(header)]
+    previous_fault = None
+    for row in table:
+        if previous_fault is not None and row["fault"] != previous_fault:
+            lines.append("")
+        previous_fault = row["fault"]
+        lines.append("{:<11}{:<7}{:>10.3f}{:>12.2f}{:>12.1f}{:>7d}{:>11d}".format(
+            row["fault"], row["protocol"], row["delivery_ratio"],
+            row["network_load"], row["control_transmissions"],
+            row["loop_violations"], row["invariant_violations"]))
+    return "\n".join(lines)

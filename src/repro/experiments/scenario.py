@@ -7,6 +7,7 @@ the paper's metrics for that single trial.
 """
 
 from repro.core import LdrConfig, LdrProtocol
+from repro.faults import FaultInjector, FaultPlan, InvariantMonitor
 from repro.metrics import MetricsCollector, RunReport
 from repro.mobility import RandomWaypoint, StaticPlacement
 from repro.net import MacConfig, Node, WirelessChannel
@@ -145,6 +146,8 @@ class ScenarioConfig:
         mobility=None,
         loop_check=False,
         warmup=5.0,
+        fault_plan=None,
+        invariant_check=False,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(
@@ -171,6 +174,13 @@ class ScenarioConfig:
         self.mobility = mobility
         self.loop_check = loop_check
         self.warmup = warmup
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise TypeError(
+                "fault_plan must be a repro.faults.FaultPlan (or None), "
+                "got %r" % (fault_plan,)
+            )
+        self.fault_plan = fault_plan
+        self.invariant_check = invariant_check
 
     #: Fields with plain scalar values, in declaration order.  ``to_dict``
     #: serializes these verbatim; the three object-valued fields
@@ -193,6 +203,7 @@ class ScenarioConfig:
         "seed",
         "loop_check",
         "warmup",
+        "invariant_check",
     )
 
     def replaced(self, **overrides):
@@ -225,6 +236,11 @@ class ScenarioConfig:
             self.protocol_config, "protocol_config"
         )
         data["mac_config"] = _nested_to_dict(self.mac_config, "mac_config")
+        # The fault plan is part of the trial's identity: two trials that
+        # differ only in their plan must hash to different cache keys.
+        data["fault_plan"] = (
+            None if self.fault_plan is None else self.fault_plan.to_dict()
+        )
         return data
 
     @classmethod
@@ -235,13 +251,17 @@ class ScenarioConfig:
             data.pop("protocol_config", None), "protocol_config"
         )
         mac_config = _nested_from_dict(data.pop("mac_config", None), "mac_config")
+        fault_plan = data.pop("fault_plan", None)
+        if fault_plan is not None:
+            fault_plan = FaultPlan.from_dict(fault_plan)
         unknown = set(data) - set(cls.SCALAR_FIELDS)
         if unknown:
             raise ValueError(
                 "unknown ScenarioConfig fields %s" % sorted(unknown)
             )
         return cls(
-            protocol_config=protocol_config, mac_config=mac_config, **data
+            protocol_config=protocol_config, mac_config=mac_config,
+            fault_plan=fault_plan, **data
         )
 
 
@@ -280,23 +300,49 @@ class Scenario:
         if proto_config is None:
             proto_config = default_config()
 
+        def routing_factory(node):
+            return protocol_cls(
+                self.sim, node, config=proto_config, metrics=self.metrics
+            )
+
         self.nodes = {}
         self.protocols = {}
         for node_id in self.mobility.node_ids():
             node = Node(self.sim, node_id, self.channel,
                         mac_config=config.mac_config, metrics=self.metrics)
-            protocol = protocol_cls(
-                self.sim, node, config=proto_config, metrics=self.metrics
-            )
+            node.routing_factory = routing_factory
+            protocol = routing_factory(node)
             node.install_routing(protocol)
             self.nodes[node_id] = node
             self.protocols[node_id] = protocol
 
+        # An explicit invariant_check, or any fault plan, installs the
+        # fault-aware monitor; it subsumes the plain loop checker (both
+        # claim the table_change_hook, so only one can be wired).
+        self.monitor = None
         self.loop_checker = None
-        if config.loop_check:
+        if config.invariant_check or config.fault_plan is not None:
+            bound = (config.fault_plan.reconvergence_bound
+                     if config.fault_plan is not None else None)
+            self.monitor = InvariantMonitor(
+                self.sim, self.protocols,
+                nodes=self.nodes, channel=self.channel,
+                metrics=self.metrics,
+                check_ordering=(config.protocol == "ldr"),
+                reconvergence_bound=bound,
+                demand_fn=self._active_demands,
+            ).install()
+        elif config.loop_check:
             self.loop_checker = LoopChecker(
                 list(self.protocols.values()),
                 check_ordering=(config.protocol == "ldr"),
+            ).install()
+
+        self.injector = None
+        if config.fault_plan is not None:
+            self.injector = FaultInjector(
+                self.sim, self.nodes, self.channel, config.fault_plan,
+                protocols=self.protocols, monitor=self.monitor,
             ).install()
 
         for node in self.nodes.values():
@@ -309,16 +355,29 @@ class Scenario:
             duration=config.duration, warmup=config.warmup,
         )
 
+    def _active_demands(self):
+        """The (src, dst) pairs of currently active CBR flows."""
+        return [(f.src, f.dst) for f in self.traffic.flows if f.active]
+
     def run(self):
         """Run to completion and return the :class:`RunReport`."""
         self.sim.run(until=self.config.duration)
         # Fig. 7: record each traffic destination's own sequence number.
         for dst in self.traffic.destinations_used():
             protocol = self.protocols[dst]
+            if protocol is None:
+                continue  # destination is down at end of run
             if hasattr(protocol, "own_sequence_value"):
                 self.metrics.observe_final_seqno(
                     dst, protocol.own_sequence_value()
                 )
+        # End-of-run audit sweep plus violation surfacing: the monitor
+        # already streamed its counts into the collector; a plain loop
+        # checker only accumulates, so push its tally here.
+        if self.monitor is not None:
+            self.monitor.check_all(self.traffic.destinations_used())
+        elif self.loop_checker is not None and self.loop_checker.violations:
+            self.metrics.on_loop_violation(len(self.loop_checker.violations))
         return RunReport(self.metrics)
 
 

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and invariant monitoring.
+
+``repro.faults`` turns the benign simulations of the base scenarios into
+adversarial ones: a serializable :class:`FaultPlan` describes *when* nodes
+crash, reboot with zeroed counters, lose links, partition, or see fuzzed
+packets; a :class:`FaultInjector` replays that plan on the simulator using
+the dedicated ``faults`` RNG stream; and an :class:`InvariantMonitor`
+audits — throughout, not just at the end — that the protocol under test
+keeps the paper's promises while the faults land.
+"""
+
+from repro.faults.plan import (
+    EVENT_TYPES,
+    FaultPlan,
+    FaultPlanError,
+    LinkBlackout,
+    NodeCrash,
+    NodeReboot,
+    PacketFuzz,
+    Partition,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import InvariantMonitor, InvariantViolation
+
+__all__ = [
+    "EVENT_TYPES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjector",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LinkBlackout",
+    "NodeCrash",
+    "NodeReboot",
+    "PacketFuzz",
+    "Partition",
+]

@@ -1,0 +1,141 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` on a live simulation.
+
+The injector is pure scheduling glue: at install time it walks the plan
+and places one simulator event per fault transition (crash, reboot, deny,
+heal, fuzz-window open/close).  All randomness it consumes — only the
+packet-fuzz draws — comes from the simulator's dedicated ``faults`` RNG
+stream, so two runs with the same seed and the same plan replay the exact
+same fault behaviour, and adding faults never perturbs the mobility,
+traffic, or MAC streams of the underlying scenario.
+"""
+
+from repro.net.channel import FuzzDecision
+
+
+class FaultInjector:
+    """Schedules and applies fault events; keeps registries consistent.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.simulator.Simulator` to schedule on.
+    nodes:
+        Mapping of node id -> :class:`~repro.net.node.Node`.
+    channel:
+        The :class:`~repro.net.channel.WirelessChannel` carrying the
+        link-deny filter and the fuzz hook.
+    plan:
+        The :class:`~repro.faults.plan.FaultPlan` to execute.
+    protocols:
+        Optional mapping of node id -> routing protocol.  Kept current
+        across reboots (a reboot installs a *new* protocol instance).
+    monitor:
+        Optional :class:`~repro.faults.monitor.InvariantMonitor`; told
+        about crashes, reboots, and heals so its registries and
+        re-convergence deadlines stay correct.
+    """
+
+    def __init__(self, sim, nodes, channel, plan, protocols=None,
+                 monitor=None):
+        self.sim = sim
+        self.nodes = nodes
+        self.channel = channel
+        self.plan = plan
+        self.protocols = protocols
+        self.monitor = monitor
+        self.rng = sim.stream("faults")
+        self._active_fuzz = []
+        self.applied = []  # (time, description) log of executed transitions
+
+    def install(self):
+        """Schedule every transition in the plan; returns self."""
+        for event in self.plan:
+            kind = event.kind
+            if kind == "node_crash":
+                self.sim.schedule_at(event.time, self._crash, event.node)
+            elif kind == "node_reboot":
+                self.sim.schedule_at(event.time, self._reboot, event.node)
+            elif kind == "link_blackout":
+                pairs = [(event.a, event.b)]
+                self.sim.schedule_at(event.start, self._deny, pairs)
+                self.sim.schedule_at(event.end, self._heal, pairs)
+            elif kind == "partition":
+                pairs = event.cross_pairs()
+                self.sim.schedule_at(event.start, self._deny, pairs)
+                self.sim.schedule_at(event.end, self._heal, pairs)
+            elif kind == "packet_fuzz":
+                self.sim.schedule_at(event.start, self._fuzz_start, event)
+                self.sim.schedule_at(event.end, self._fuzz_end, event)
+        return self
+
+    # -- transitions -----------------------------------------------------
+
+    def _log(self, what):
+        self.applied.append((self.sim.now, what))
+
+    def _crash(self, node_id):
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.crash()
+        self._log("crash %r" % (node_id,))
+        if self.monitor is not None:
+            self.monitor.on_crash(node_id)
+
+    def _reboot(self, node_id):
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node.reboot()
+        self._log("reboot %r" % (node_id,))
+        if self.protocols is not None:
+            self.protocols[node_id] = node.routing
+        if self.monitor is not None:
+            self.monitor.on_reboot(node_id, node.routing)
+
+    def _deny(self, pairs):
+        for a, b in pairs:
+            self.channel.deny_link(a, b)
+        self._log("deny %d link(s)" % len(pairs))
+
+    def _heal(self, pairs):
+        for a, b in pairs:
+            self.channel.allow_link(a, b)
+        self._log("heal %d link(s)" % len(pairs))
+        if self.monitor is not None:
+            self.monitor.on_heal()
+
+    def _fuzz_start(self, window):
+        self._active_fuzz.append(window)
+        self.channel.fuzz_fn = self._fuzz
+        self._log("fuzz window open")
+
+    def _fuzz_end(self, window):
+        try:
+            self._active_fuzz.remove(window)
+        except ValueError:
+            pass
+        if not self._active_fuzz:
+            self.channel.fuzz_fn = None
+        self._log("fuzz window close")
+
+    def _fuzz(self, sender_id, receiver_id, frame):
+        """Per-reception fuzz decision from the ``faults`` stream.
+
+        Draw order is fixed (corrupt, duplicate, delay per active window),
+        so the stream consumption — and with it every downstream draw —
+        is identical for identical (seed, plan) pairs.
+        """
+        corrupt = False
+        duplicate = False
+        delay = 0.0
+        for window in self._active_fuzz:
+            if window.corrupt and self.rng.random() < window.corrupt:
+                corrupt = True
+            if window.duplicate and self.rng.random() < window.duplicate:
+                duplicate = True
+            if window.delay and self.rng.random() < window.delay:
+                delay = max(delay, self.rng.uniform(0.0, window.max_delay))
+        if not (corrupt or duplicate or delay):
+            return None
+        return FuzzDecision(corrupt=corrupt, delay=delay, duplicate=duplicate)

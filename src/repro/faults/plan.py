@@ -1,0 +1,304 @@
+"""Declarative, fully serializable fault plans.
+
+A :class:`FaultPlan` is a list of timed fault events plus monitor knobs.
+It is pure data: :meth:`FaultPlan.to_dict` emits plain JSON scalars and
+lists, and ``FaultPlan.from_dict(plan.to_dict())`` rebuilds an equivalent
+plan — the same contract :class:`~repro.experiments.scenario.
+ScenarioConfig` keeps, so a plan rides inside a scenario config through
+the result cache and worker dispatch, and **changing the plan changes the
+trial's cache key**.
+
+Event types
+-----------
+
+``node_crash``     power a node off at ``time`` (state, timers, queue lost)
+``node_reboot``    power it back on at ``time`` with factory-fresh protocol
+                   state — the paper's "loss of state resets the counter
+                   to zero" reboot model
+``link_blackout``  administratively sever one link over ``[start, end)``
+``partition``      sever every link between the listed groups over
+                   ``[start, end)``; the end event is the *heal*
+``packet_fuzz``    a window during which receptions are corrupted,
+                   duplicated, or delayed with the given probabilities,
+                   drawn from the dedicated ``faults`` RNG stream
+
+All times are simulation seconds.  Validation happens at construction so a
+malformed plan fails before any simulation runs.
+"""
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad times, probabilities, or groups)."""
+
+
+def _require(condition, message):
+    if not condition:
+        raise FaultPlanError(message)
+
+
+def _check_time(value, name):
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             "%s must be a number, got %r" % (name, value))
+    _require(value >= 0, "%s must be >= 0, got %r" % (name, value))
+    return float(value)
+
+
+def _check_window(start, end, kind):
+    start = _check_time(start, "%s.start" % kind)
+    end = _check_time(end, "%s.end" % kind)
+    _require(start < end, "%s window is empty: start=%g end=%g"
+             % (kind, start, end))
+    return start, end
+
+
+def _check_probability(value, name):
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             "%s must be a number, got %r" % (name, value))
+    _require(0.0 <= value <= 1.0,
+             "%s must be a probability in [0, 1], got %r" % (name, value))
+    return float(value)
+
+
+class NodeCrash:
+    """Power ``node`` off at ``time``."""
+
+    kind = "node_crash"
+    __slots__ = ("node", "time")
+
+    def __init__(self, node, time):
+        self.node = node
+        self.time = _check_time(time, "node_crash.time")
+
+    def to_dict(self):
+        return {"kind": self.kind, "node": self.node, "time": self.time}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(node=data["node"], time=data["time"])
+
+
+class NodeReboot:
+    """Power ``node`` back on at ``time`` with factory-fresh state."""
+
+    kind = "node_reboot"
+    __slots__ = ("node", "time")
+
+    def __init__(self, node, time):
+        self.node = node
+        self.time = _check_time(time, "node_reboot.time")
+
+    def to_dict(self):
+        return {"kind": self.kind, "node": self.node, "time": self.time}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(node=data["node"], time=data["time"])
+
+
+class LinkBlackout:
+    """Sever the ``(a, b)`` link for ``[start, end)``."""
+
+    kind = "link_blackout"
+    __slots__ = ("a", "b", "start", "end")
+
+    def __init__(self, a, b, start, end):
+        _require(a != b, "link_blackout endpoints must differ, got %r" % (a,))
+        self.a = a
+        self.b = b
+        self.start, self.end = _check_window(start, end, self.kind)
+
+    def to_dict(self):
+        return {"kind": self.kind, "a": self.a, "b": self.b,
+                "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(a=data["a"], b=data["b"],
+                   start=data["start"], end=data["end"])
+
+
+class Partition:
+    """Sever every link between the listed ``groups`` for ``[start, end)``.
+
+    ``groups`` is a sequence of disjoint node-id sequences.  Nodes in the
+    same group (and nodes not listed in any group) keep their links; every
+    pair straddling two groups is denied.  The end event is the *heal*,
+    which the invariant monitor uses as the re-convergence deadline anchor.
+    """
+
+    kind = "partition"
+    __slots__ = ("groups", "start", "end")
+
+    def __init__(self, groups, start, end):
+        groups = tuple(tuple(g) for g in groups)
+        _require(len(groups) >= 2, "partition needs at least two groups")
+        seen = set()
+        for group in groups:
+            _require(len(group) > 0, "partition groups must be non-empty")
+            for node in group:
+                _require(node not in seen,
+                         "node %r appears in more than one partition group"
+                         % (node,))
+                seen.add(node)
+        self.groups = groups
+        self.start, self.end = _check_window(start, end, self.kind)
+
+    def cross_pairs(self):
+        """Every (a, b) pair whose link the partition denies."""
+        pairs = []
+        for i, group in enumerate(self.groups):
+            for other in self.groups[i + 1:]:
+                for a in group:
+                    for b in other:
+                        pairs.append((a, b))
+        return pairs
+
+    def to_dict(self):
+        return {"kind": self.kind,
+                "groups": [list(g) for g in self.groups],
+                "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(groups=data["groups"],
+                   start=data["start"], end=data["end"])
+
+
+class PacketFuzz:
+    """Corrupt/duplicate/delay receptions during ``[start, end)``.
+
+    Each probability applies independently per reception; delays are
+    uniform on ``(0, max_delay]`` seconds.  All randomness comes from the
+    simulator's dedicated ``faults`` stream, so fuzzing never perturbs
+    mobility, traffic, or MAC backoff sequences.
+    """
+
+    kind = "packet_fuzz"
+    __slots__ = ("start", "end", "corrupt", "duplicate", "delay", "max_delay")
+
+    def __init__(self, start, end, corrupt=0.0, duplicate=0.0, delay=0.0,
+                 max_delay=0.05):
+        self.start, self.end = _check_window(start, end, self.kind)
+        self.corrupt = _check_probability(corrupt, "packet_fuzz.corrupt")
+        self.duplicate = _check_probability(duplicate, "packet_fuzz.duplicate")
+        self.delay = _check_probability(delay, "packet_fuzz.delay")
+        self.max_delay = _check_time(max_delay, "packet_fuzz.max_delay")
+        _require(self.max_delay > 0, "packet_fuzz.max_delay must be > 0")
+
+    def to_dict(self):
+        return {"kind": self.kind, "start": self.start, "end": self.end,
+                "corrupt": self.corrupt, "duplicate": self.duplicate,
+                "delay": self.delay, "max_delay": self.max_delay}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(start=data["start"], end=data["end"],
+                   corrupt=data.get("corrupt", 0.0),
+                   duplicate=data.get("duplicate", 0.0),
+                   delay=data.get("delay", 0.0),
+                   max_delay=data.get("max_delay", 0.05))
+
+
+EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (NodeCrash, NodeReboot, LinkBlackout, Partition, PacketFuzz)
+}
+
+
+class FaultPlan:
+    """An ordered list of fault events plus invariant-monitor knobs.
+
+    ``reconvergence_bound`` (seconds, or None to disable) is how long
+    after a heal event routes for active traffic demands may stay broken
+    before the monitor reports a ``reconvergence`` violation.
+    """
+
+    def __init__(self, events=(), reconvergence_bound=None):
+        self.events = list(events)
+        for event in self.events:
+            _require(type(event).kind in EVENT_TYPES,
+                     "unknown fault event %r" % (event,))
+        if reconvergence_bound is not None:
+            reconvergence_bound = _check_time(
+                reconvergence_bound, "reconvergence_bound")
+            _require(reconvergence_bound > 0,
+                     "reconvergence_bound must be > 0 (or None)")
+        self.reconvergence_bound = reconvergence_bound
+        self._validate_crash_reboot_pairing()
+
+    def _validate_crash_reboot_pairing(self):
+        """Every reboot must follow a crash of the same node."""
+        crashes = {}
+        for event in sorted(
+            (e for e in self.events if e.kind in ("node_crash", "node_reboot")),
+            key=lambda e: (e.time, 0 if e.kind == "node_crash" else 1),
+        ):
+            if event.kind == "node_crash":
+                _require(not crashes.get(event.node, False),
+                         "node %r crashed twice without a reboot in between"
+                         % (event.node,))
+                crashes[event.node] = True
+            else:
+                _require(crashes.get(event.node, False),
+                         "node %r reboots at t=%g without a preceding crash"
+                         % (event.node, event.time))
+                crashes[event.node] = False
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other):
+        return (isinstance(other, FaultPlan)
+                and self.to_dict() == other.to_dict())
+
+    def to_dict(self):
+        """Plain JSON-able description (stable for cache keys)."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "reconvergence_bound": self.reconvergence_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a plan serialized by :meth:`to_dict`."""
+        events = []
+        for item in data.get("events", ()):
+            kind = item.get("kind")
+            event_cls = EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise FaultPlanError(
+                    "unknown fault event kind %r (known: %s)"
+                    % (kind, sorted(EVENT_TYPES)))
+            events.append(event_cls.from_dict(item))
+        return cls(events=events,
+                   reconvergence_bound=data.get("reconvergence_bound"))
+
+    def describe(self):
+        """One human line per event, in time order."""
+        lines = []
+        for event in sorted(self.events, key=lambda e: getattr(
+                e, "time", getattr(e, "start", 0.0))):
+            lines.append("t=%-8g %s" % (
+                getattr(event, "time", getattr(event, "start", 0.0)),
+                self._describe_event(event)))
+        if self.reconvergence_bound is not None:
+            lines.append("monitor: reconvergence bound %gs after each heal"
+                         % self.reconvergence_bound)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _describe_event(event):
+        if event.kind == "node_crash":
+            return "crash node %r" % (event.node,)
+        if event.kind == "node_reboot":
+            return "reboot node %r (fresh state, zeroed counter)" % (event.node,)
+        if event.kind == "link_blackout":
+            return "blackout link %r-%r until t=%g" % (event.a, event.b, event.end)
+        if event.kind == "partition":
+            return "partition %s until t=%g (heal)" % (
+                "/".join(str(list(g)) for g in event.groups), event.end)
+        return ("fuzz packets until t=%g (corrupt=%g dup=%g delay=%g)"
+                % (event.end, event.corrupt, event.duplicate, event.delay))

@@ -23,8 +23,11 @@ from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
 
 #: Layers (top-level package directories) whose code runs *inside* the
 #: simulated world and therefore must be bit-deterministic under a seed.
+#: ``faults`` belongs here: fault injection replays from the dedicated
+#: ``faults`` RNG stream, so it is bound by the same rules as protocols.
 DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
-    {"sim", "net", "protocols", "routing", "mobility", "traffic", "core"}
+    {"sim", "net", "protocols", "routing", "mobility", "traffic", "core",
+     "faults"}
 )
 
 #: Layers that may define RoutingProtocol subclasses subject to the

@@ -38,6 +38,9 @@ class MetricsCollector:
         self.seqno_final = {}  # destination id -> final own-sequence counter
         self.duplicate_delivered = 0
         self._delivered_uids = set()
+        # invariant audits (loop checker / fault monitor)
+        self.invariant_violations = Counter()  # kind -> count
+        self.loop_violations = 0
 
     # ------------------------------------------------------------------
     # application layer
@@ -91,3 +94,21 @@ class MetricsCollector:
     def observe_final_seqno(self, destination_id, counter_value):
         """Record a destination's own sequence counter at end of run."""
         self.seqno_final[destination_id] = counter_value
+
+    # ------------------------------------------------------------------
+    # invariant audits
+    # ------------------------------------------------------------------
+    def on_invariant_violation(self, kind, detail=None):
+        """The invariant monitor saw a violation of the given kind.
+
+        ``loop`` and ``ordering`` kinds also count toward the paper-facing
+        ``loop_violations`` total (Theorem 4 / Theorem 2 breaches).
+        """
+        self.invariant_violations[kind] += 1
+        if kind in ("loop", "ordering"):
+            self.loop_violations += 1
+
+    def on_loop_violation(self, count=1):
+        """Plain loop-checker violations (no monitor installed)."""
+        self.loop_violations += count
+        self.invariant_violations["loop"] += count

@@ -68,6 +68,20 @@ class RunReport:
         return self.c.usable_rreps_received / rreqs
 
     @property
+    def loop_violations(self):
+        """Loop/ordering breaches seen by the checker or monitor.
+
+        Zero is the paper's Theorem 4 / Theorem 2 claim; anything else in
+        an LDR run is a reproduction bug worth failing CI over.
+        """
+        return self.c.loop_violations
+
+    @property
+    def invariant_violations(self):
+        """Total invariant-monitor violations, all kinds."""
+        return sum(self.c.invariant_violations.values())
+
+    @property
     def mean_destination_seqno(self):
         """Mean final own-sequence counter over observed destinations (Fig 7)."""
         if not self.c.seqno_final:
@@ -88,6 +102,11 @@ class RunReport:
             "data_originated": self.c.data_originated,
             "data_delivered": self.c.data_delivered,
             "control_transmissions": self.control_transmissions,
+            "loop_violations": self.loop_violations,
+            "invariant_violations": self.invariant_violations,
+            "invariant_breakdown": dict(
+                sorted(self.c.invariant_violations.items())
+            ),
         }
 
     def __repr__(self):

@@ -13,9 +13,31 @@ Carrier is signalled to all nodes in range so their MACs defer (CSMA).
 Positions come from the mobility model; a transmission uses the positions
 at its start time.  This matches the granularity of packet-level simulators
 such as GloMoSim: links do not flip mid-frame.
+
+The channel is also where the fault layer (:mod:`repro.faults`) plugs in:
+
+* a **link-deny filter** (:meth:`WirelessChannel.deny_link`) removes a pair
+  from the connectivity relation regardless of distance — blackouts and
+  partitions are built from denied pairs;
+* crashed nodes (``node.alive`` False) neither receive nor acknowledge
+  frames, even ones already in flight toward them;
+* an optional **fuzzer hook** (:attr:`WirelessChannel.fuzz_fn`) lets the
+  fault injector corrupt, delay, or duplicate individual receptions from
+  its own seeded RNG stream.
 """
 
 PROPAGATION_DELAY = 1e-6  # seconds; ~300 m at light speed, kept constant
+
+
+class FuzzDecision:
+    """What the fault injector wants done to one reception."""
+
+    __slots__ = ("corrupt", "delay", "duplicate")
+
+    def __init__(self, corrupt=False, delay=0.0, duplicate=False):
+        self.corrupt = corrupt
+        self.delay = delay
+        self.duplicate = duplicate
 
 
 class Reception:
@@ -50,20 +72,52 @@ class WirelessChannel:
         # Observers called as fn(sender_id, frame, receiver_ids) on each
         # transmission; used by metrics and by tests.
         self.observers = []
+        # Fault seams: unordered node pairs whose link is administratively
+        # down, and an optional per-reception fuzzer installed by the
+        # fault injector (fn(sender_id, receiver_id, frame) ->
+        # FuzzDecision or None).
+        self._denied_links = set()
+        self.fuzz_fn = None
 
     def attach(self, node):
         """Register a node; called by :class:`~repro.net.node.Node`."""
         self.nodes[node.node_id] = node
         self._receptions[node.node_id] = []
 
+    def deny_link(self, a, b):
+        """Administratively remove the (a, b) link (fault injection)."""
+        self._denied_links.add(frozenset((a, b)))
+
+    def allow_link(self, a, b):
+        """Undo :meth:`deny_link`; a no-op when the pair is not denied."""
+        self._denied_links.discard(frozenset((a, b)))
+
+    def link_allowed(self, a, b):
+        """False when the (a, b) pair is under a deny filter."""
+        if not self._denied_links:
+            return True
+        return frozenset((a, b)) not in self._denied_links
+
+    def _is_alive(self, node_id):
+        node = self.nodes.get(node_id)
+        return node is not None and getattr(node, "alive", True)
+
     def neighbors_of(self, node_id, at_time=None):
-        """Node ids within transmission range of ``node_id`` right now."""
+        """Node ids within transmission range of ``node_id`` right now.
+
+        Crashed nodes and administratively denied links do not count:
+        a powered-off radio neither hears nor acknowledges anything.
+        """
         t = self.sim.now if at_time is None else at_time
         x, y = self.mobility.position(node_id, t)
         limit = self.range * self.range
         result = []
         for other_id in self.nodes:
             if other_id == node_id:
+                continue
+            if not self._is_alive(other_id):
+                continue
+            if not self.link_allowed(node_id, other_id):
                 continue
             ox, oy = self.mobility.position(other_id, t)
             dx, dy = ox - x, oy - y
@@ -73,6 +127,10 @@ class WirelessChannel:
 
     def in_range(self, a, b, at_time=None):
         """True when nodes ``a`` and ``b`` can currently hear each other."""
+        if not self.link_allowed(a, b):
+            return False
+        if not (self._is_alive(a) and self._is_alive(b)):
+            return False
         t = self.sim.now if at_time is None else at_time
         ax, ay = self.mobility.position(a, t)
         bx, by = self.mobility.position(b, t)
@@ -97,7 +155,9 @@ class WirelessChannel:
             obs(sender_id, frame, receiver_ids)
 
         unicast_result = {"decoded": False}
-        if not frame.is_broadcast and frame.link_dst in self.nodes:
+        if (not frame.is_broadcast and frame.link_dst in self.nodes
+                and self._is_alive(frame.link_dst)
+                and self.link_allowed(sender_id, frame.link_dst)):
             # Virtual RTS/CTS: 802.11 protects unicast exchanges against
             # hidden terminals by having the receiver's neighborhood defer
             # (the CTS).  Model that by NAV-ing the destination's neighbors
@@ -118,11 +178,29 @@ class WirelessChannel:
                 if other.end > now:  # overlap -> mutual corruption
                     other.corrupted = True
                     corrupted = True
+            extra_delay = 0.0
+            duplicate = False
+            if self.fuzz_fn is not None:
+                fuzz = self.fuzz_fn(sender_id, rid, frame)
+                if fuzz is not None:
+                    corrupted = corrupted or fuzz.corrupt
+                    extra_delay = max(0.0, fuzz.delay)
+                    duplicate = fuzz.duplicate
             rec = Reception(frame, now, end, corrupted)
             ongoing.append(rec)
             self.sim.schedule(
-                duration + PROPAGATION_DELAY, self._complete, rid, rec, unicast_result
+                duration + PROPAGATION_DELAY + extra_delay,
+                self._complete, rid, rec, unicast_result,
             )
+            if duplicate and not corrupted:
+                # A fuzzed duplicate: the same frame decodes twice, a bit
+                # later, as if a stale copy echoed through the medium.
+                dup = Reception(frame, now, end, False)
+                ongoing.append(dup)
+                self.sim.schedule(
+                    duration + 2 * PROPAGATION_DELAY + extra_delay,
+                    self._complete, rid, dup, unicast_result,
+                )
 
         if not frame.is_broadcast:
             # Abstracted ACK: the sender learns the outcome shortly after the
@@ -159,6 +237,10 @@ class WirelessChannel:
             return
         frame = rec.frame
         receiver = self.nodes[receiver_id]
+        if not getattr(receiver, "alive", True):
+            # The node crashed while the frame was in flight: nothing
+            # decodes, and a unicast toward it is never acknowledged.
+            return
         if frame.is_broadcast or frame.link_dst == receiver_id:
             if frame.link_dst == receiver_id:
                 unicast_result["decoded"] = True

@@ -82,6 +82,7 @@ class CsmaMac:
         self._current = None  # _TxJob on the air / awaiting outcome
         self._tx_end = 0.0
         self._wait_event = None
+        self.down = False  # True while the node is crashed
 
     # ------------------------------------------------------------------
     # upper-layer API
@@ -93,6 +94,10 @@ class CsmaMac:
         when a unicast cannot be delivered after all retries.  Returns False
         when the interface queue is full (the packet is dropped).
         """
+        if self.down:
+            # A crashed radio silently discards everything — the backstop
+            # for protocol timers that fire between crash and teardown.
+            return False
         frame = Frame(packet, self.node_id, next_hop)
         job = _TxJob(frame, on_fail)
         if not self.queue.push(job):
@@ -110,6 +115,25 @@ class CsmaMac:
         """Remove queued packets matching ``predicate(packet)``."""
         return [job.frame.packet for job in self.queue.remove_if(lambda j: predicate(j.frame.packet))]
 
+    def shutdown(self):
+        """Power the radio off (node crash): lose queue and in-flight state."""
+        self.down = True
+        self.queue.clear()
+        if self._wait_event is not None:
+            self._wait_event.cancel()
+            self._wait_event = None
+        self._current = None
+        self._tx_end = 0.0
+
+    def reset(self):
+        """Power the radio back on with factory-fresh link state (reboot)."""
+        self.down = False
+        self._nav = 0.0
+        self._current = None
+        self._tx_end = 0.0
+        self.receive_fn = None
+        self.promiscuous_fn = None
+
     # ------------------------------------------------------------------
     # channel-facing API
     # ------------------------------------------------------------------
@@ -123,6 +147,8 @@ class CsmaMac:
 
     def handle_frame(self, frame):
         """A frame addressed to us (or broadcast) decoded successfully."""
+        if self.down:
+            return
         if self.metrics is not None:
             self.metrics.on_mac_receive(self.node_id, frame)
         if self.receive_fn is not None:

@@ -37,6 +37,12 @@ class DropTailQueue:
     def pop(self):
         return self._items.popleft() if self._items else None
 
+    def clear(self):
+        """Drop everything (a crashed node's interface queue is lost)."""
+        removed = list(self._items)
+        self._items.clear()
+        return removed
+
     def remove_if(self, predicate):
         """Drop queued items matching ``predicate``; returns removed items."""
         kept = deque()

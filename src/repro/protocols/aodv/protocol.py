@@ -126,6 +126,8 @@ class AodvProtocol(RoutingProtocol):
             )
 
     def _hello_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         limit = self.config.allowed_hello_loss * self.config.hello_interval
         for neighbor in [n for n, t in self._hello_heard.items()
@@ -275,6 +277,13 @@ class AodvProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     # route discovery
     # ------------------------------------------------------------------
+    def stop(self):
+        """Node crash: cancel discovery timers so the instance goes quiet."""
+        super().stop()
+        for disc in self._discoveries.values():
+            disc.timer.cancel()
+        self._discoveries.clear()
+
     def _ensure_discovery(self, dst):
         if dst in self._discoveries:
             return

@@ -245,6 +245,13 @@ class DsrProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     # route discovery
     # ------------------------------------------------------------------
+    def stop(self):
+        """Node crash: cancel discovery timers so the instance goes quiet."""
+        super().stop()
+        for disc in self._discoveries.values():
+            disc.timer.cancel()
+        self._discoveries.clear()
+
     def _ensure_discovery(self, dst):
         if dst in self._discoveries:
             return

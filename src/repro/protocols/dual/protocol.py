@@ -89,6 +89,8 @@ class DualProtocol(RoutingProtocol):
                           self._hello_tick)
 
     def _hello_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         # Expire silent neighbors.
         for neighbor in [n for n, t in self.neighbors.items()

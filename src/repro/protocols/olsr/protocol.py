@@ -113,6 +113,8 @@ class OlsrProtocol(RoutingProtocol):
         )
 
     def _hello_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         self.neighbors.expire(now)
         self.neighbors.select_mprs(now)
@@ -128,6 +130,8 @@ class OlsrProtocol(RoutingProtocol):
         self.sim.schedule(self.config.hello_interval, self._hello_tick)
 
     def _tc_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         selectors = self.neighbors.selectors(now)
         if selectors:

@@ -139,6 +139,8 @@ class RoamProtocol(RoutingProtocol):
         )
 
     def _hello_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         for neighbor in [n for n, t in self.neighbors.items()
                          if now - t > self.config.neighbor_hold_time]:

@@ -144,6 +144,8 @@ class ToraProtocol(RoutingProtocol):
         )
 
     def _beacon_tick(self):
+        if self.stopped:
+            return
         now = self.sim.now
         for neighbor in [n for n, t in self.neighbors.items()
                          if now - t > self.config.neighbor_hold_time]:

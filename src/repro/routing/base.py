@@ -24,12 +24,27 @@ class RoutingProtocol:
         # Optional observer: fn(protocol, destination) after any routing
         # table change.  The loop checker plugs in here.
         self.table_change_hook = None
+        # Set by stop(): periodic ticks check this flag so a crashed
+        # node's discarded protocol instance goes quiet.
+        self.stopped = False
 
     # ------------------------------------------------------------------
     # lifecycle / data path (subclasses implement)
     # ------------------------------------------------------------------
     def start(self):
         """Called once when the simulation starts."""
+
+    def stop(self):
+        """Cease operation (the node crashed); the instance is discarded.
+
+        Subclasses with pending :class:`~repro.sim.timers.Timer` objects
+        should override, call ``super().stop()``, and cancel them;
+        recurring self-scheduled ticks must early-return on ``stopped``.
+        The MAC is shut down separately, so a stale tick that slips
+        through cannot actually transmit.
+        """
+        self.stopped = True
+        self.table_change_hook = None
 
     def send_data(self, packet):
         raise NotImplementedError

@@ -15,7 +15,16 @@ the feasible distance strictly decreases.
 
 
 class LoopError(AssertionError):
-    """Routing tables formed a loop (or violated the ordering criterion)."""
+    """Routing tables formed a loop (or violated the ordering criterion).
+
+    ``kind`` is ``"loop"`` for a successor-graph cycle and ``"ordering"``
+    for a Theorem-2 breach; the invariant monitor uses it to classify
+    violations it absorbs instead of re-raising.
+    """
+
+    def __init__(self, message, kind="loop"):
+        super().__init__(message)
+        self.kind = kind
 
 
 class LoopChecker:
@@ -58,8 +67,12 @@ class LoopChecker:
         while current is not None and current != dst:
             if current in seen_set:
                 loop = seen[seen.index(current):] + [current]
+                # Record before raising so callers that absorb the error
+                # (the audit CLI, the invariant monitor) still see it.
+                self.violations.append((start_id, current, dst))
                 raise LoopError(
-                    "routing loop for destination {}: {}".format(dst, loop)
+                    "routing loop for destination {}: {}".format(dst, loop),
+                    kind="loop",
                 )
             seen.append(current)
             seen_set.add(current)
@@ -90,7 +103,8 @@ class LoopChecker:
             raise LoopError(
                 "ordering violated toward {}: {}(sn={}) uses {}(sn={})".format(
                     dst, upstream.node_id, up_sn, downstream.node_id, down_sn
-                )
+                ),
+                kind="ordering",
             )
         if down_sn == up_sn and not (down_fd < up_fd):
             self.violations.append((upstream.node_id, downstream.node_id, dst))
@@ -98,5 +112,6 @@ class LoopChecker:
                 "feasible-distance ordering violated toward {}: "
                 "{} (fd={}) -> {} (fd={})".format(
                     dst, upstream.node_id, up_fd, downstream.node_id, down_fd
-                )
+                ),
+                kind="ordering",
             )

@@ -6,6 +6,24 @@ that, say, changing how many random numbers the MAC consumes does not
 perturb the mobility pattern — trials stay comparable across protocols, the
 property the paper relies on when it reuses "the same mobility and traffic
 load patterns" between GloMoSim and QualNet runs.
+
+Registered stream names
+-----------------------
+
+``mobility``        waypoint draws and static placements
+``traffic``         CBR flow endpoints, start staggers, lifetimes
+``channel.gray``    gray-zone reception losses
+``mac.<node>``      per-node CSMA backoff
+``faults``          every draw of the fault injector (packet-fuzz
+                    corrupt/duplicate/delay decisions) — isolating it here
+                    is what makes a fault plan an *overlay*: adding or
+                    removing faults never shifts the mobility, traffic, or
+                    backoff sequences of the underlying scenario, and the
+                    same ``(seed, plan)`` pair replays byte-identically
+
+Components must obtain streams through ``Simulator.stream(name)``; the
+lint rules (RL001/RL002) reject direct ``random``/clock use inside the
+deterministic layers, including ``faults``.
 """
 
 from __future__ import annotations

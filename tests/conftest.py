@@ -29,13 +29,18 @@ class Network:
         self.channel = WirelessChannel(
             self.sim, placement, transmission_range=transmission_range
         )
+        def routing_factory(node):
+            return protocol_cls(self.sim, node, config=config,
+                                metrics=self.metrics)
+
+        self.routing_factory = routing_factory
         self.nodes = {}
         self.protocols = {}
         for node_id in placement.node_ids():
             node = Node(self.sim, node_id, self.channel,
                         mac_config=mac_config, metrics=self.metrics)
-            protocol = protocol_cls(self.sim, node, config=config,
-                                    metrics=self.metrics)
+            node.routing_factory = routing_factory
+            protocol = routing_factory(node)
             node.install_routing(protocol)
             self.nodes[node_id] = node
             self.protocols[node_id] = protocol

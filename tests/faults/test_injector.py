@@ -1,0 +1,155 @@
+"""FaultInjector behaviour on live networks: crash, reboot, deny, fuzz."""
+
+from repro.core import LdrProtocol
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkBlackout,
+    NodeCrash,
+    NodeReboot,
+    PacketFuzz,
+    Partition,
+)
+from repro.mobility import StaticPlacement
+from tests.conftest import Network
+
+
+def _line(count=4, spacing=200.0):
+    return Network(LdrProtocol, StaticPlacement.line(count, spacing))
+
+
+def _install(net, plan):
+    return FaultInjector(net.sim, net.nodes, net.channel, plan,
+                         protocols=net.protocols).install()
+
+
+def test_crash_silences_node_and_kills_forwarding():
+    net = _line(4)
+    _install(net, FaultPlan(events=[NodeCrash(1, 2.0)]))
+    net.send(0, 3)
+    net.run(1.0)
+    delivered_before = len(net.delivered_to(3))
+    assert delivered_before >= 1  # route established through 1 and 2
+    net.run(2.0)  # crash at t=2 severs the only path
+    assert not net.nodes[1].alive
+    count_at_crash = len(net.delivered_to(3))
+    net.send(0, 3)
+    net.run(3.0)
+    assert len(net.delivered_to(3)) == count_at_crash  # nothing new got through
+
+
+def test_crashed_node_originates_nothing():
+    net = _line(3)
+    _install(net, FaultPlan(events=[NodeCrash(0, 1.0)]))
+    net.run(2.0)
+    originated = net.metrics.data_originated
+    net.send(0, 2)  # crashed source: packet never enters the network
+    net.run(1.0)
+    assert net.metrics.data_originated == originated
+    assert len(net.delivered_to(2)) == 0
+
+
+def test_reboot_restores_connectivity_with_fresh_state():
+    net = _line(3)
+    plan = FaultPlan(events=[NodeCrash(1, 2.0), NodeReboot(1, 4.0)])
+    _install(net, plan)
+    net.send(0, 2)
+    net.run(3.0)  # establish, then crash at t=2
+    old_protocol = net.protocols[1]
+    assert not net.nodes[1].alive
+    net.run(2.0)  # reboot at t=4
+    assert net.nodes[1].alive
+    new_protocol = net.nodes[1].routing
+    assert new_protocol is not old_protocol  # factory-fresh instance
+    assert net.protocols[1] is new_protocol  # registry updated
+    assert old_protocol.stopped
+    assert new_protocol.table == {}  # the paper's loss-of-state model
+    before = len(net.delivered_to(2))
+    # The first post-reboot packet is legitimately dropped with a RERR
+    # (the fresh relay has no route); subsequent sends rediscover.
+    for i in range(6):
+        net.sim.schedule_at(net.sim.now + 0.5 * i, net.nodes[0].send_data, 2)
+    net.run(4.0)
+    assert len(net.delivered_to(2)) > before  # relay works again
+
+
+def test_rebooted_destination_label_outranks_stale_routes():
+    """The reboot story: counter resets to zero, but the fresh boot-time
+    timestamp keeps the destination's labels ahead of its old incarnation's.
+    """
+    net = _line(3)
+    plan = FaultPlan(events=[NodeCrash(2, 2.0), NodeReboot(2, 4.0)])
+    _install(net, plan)
+    net.send(0, 2)
+    net.run(1.0)
+    stale = net.protocols[0].route_metric(2)[0]
+    net.run(4.0)  # crash at 2, reboot at 4
+    fresh = net.protocols[2].own_seq
+    assert fresh.counter == 0  # zeroed by the reboot
+    assert fresh > stale  # yet fresher than anything issued before
+
+
+def test_link_blackout_window_denies_then_heals():
+    net = _line(3)
+    plan = FaultPlan(events=[LinkBlackout(0, 1, 1.0, 3.0)])
+    _install(net, plan)
+    assert net.channel.in_range(0, 1)
+    net.run(2.0)  # inside the window
+    assert not net.channel.in_range(0, 1)
+    assert 1 not in net.channel.neighbors_of(0)
+    net.run(2.0)  # past the heal
+    assert net.channel.in_range(0, 1)
+
+
+def test_partition_denies_every_cross_link():
+    net = Network(LdrProtocol, StaticPlacement.grid(2, 2, 200.0))
+    plan = FaultPlan(events=[Partition([[0, 1], [2, 3]], 1.0, 5.0)])
+    _install(net, plan)
+    net.run(2.0)
+    assert not net.channel.in_range(0, 2)
+    assert not net.channel.in_range(1, 3)
+    assert net.channel.in_range(0, 1)  # intra-group link survives
+    net.run(4.0)
+    assert net.channel.in_range(0, 2)
+
+
+def test_fuzz_draws_only_from_faults_stream():
+    net = _line(3)
+    plan = FaultPlan(events=[PacketFuzz(0.0, 10.0, corrupt=0.5)])
+    injector = _install(net, plan)
+    net.send(0, 2)
+    net.run(5.0)
+    assert injector.rng is net.sim.stream("faults")
+
+
+def test_fuzz_window_installs_and_removes_channel_hook():
+    net = _line(3)
+    plan = FaultPlan(events=[PacketFuzz(1.0, 2.0, corrupt=1.0)])
+    _install(net, plan)
+    assert net.channel.fuzz_fn is None
+    net.run(1.5)
+    assert net.channel.fuzz_fn is not None
+    net.run(1.0)
+    assert net.channel.fuzz_fn is None
+
+
+def test_full_corruption_blocks_all_delivery_inside_window():
+    net = _line(3)
+    plan = FaultPlan(events=[PacketFuzz(0.0, 30.0, corrupt=1.0)])
+    _install(net, plan)
+    net.send(0, 2)
+    net.run(10.0)
+    assert len(net.delivered_to(2)) == 0  # every reception corrupted
+
+
+def test_applied_log_records_transitions_in_time_order():
+    net = _line(4)
+    plan = FaultPlan(events=[NodeCrash(1, 2.0), NodeReboot(1, 4.0),
+                             LinkBlackout(2, 3, 1.0, 5.0)])
+    injector = _install(net, plan)
+    net.run(6.0)
+    times = [when for when, _ in injector.applied]
+    assert times == sorted(times)
+    descriptions = " | ".join(what for _, what in injector.applied)
+    assert "crash" in descriptions and "reboot" in descriptions
+    assert "deny" in descriptions and "heal" in descriptions

@@ -1,0 +1,120 @@
+"""FaultPlan construction, validation, and serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    LinkBlackout,
+    NodeCrash,
+    NodeReboot,
+    PacketFuzz,
+    Partition,
+)
+
+
+def _full_plan():
+    return FaultPlan(
+        events=[
+            NodeCrash(3, 10.0),
+            NodeReboot(3, 20.0),
+            LinkBlackout(1, 2, 5.0, 15.0),
+            Partition([[0, 1], [2, 3]], 30.0, 40.0),
+            PacketFuzz(50.0, 60.0, corrupt=0.1, duplicate=0.05, delay=0.2,
+                       max_delay=0.03),
+        ],
+        reconvergence_bound=12.5,
+    )
+
+
+def test_round_trip_is_identity():
+    plan = _full_plan()
+    rebuilt = FaultPlan.from_dict(plan.to_dict())
+    assert rebuilt == plan
+    assert rebuilt.to_dict() == plan.to_dict()
+
+
+def test_to_dict_is_json_and_stable():
+    plan = _full_plan()
+    first = json.dumps(plan.to_dict(), sort_keys=True)
+    second = json.dumps(_full_plan().to_dict(), sort_keys=True)
+    assert first == second
+    assert FaultPlan.from_dict(json.loads(first)) == plan
+
+
+def test_empty_plan_round_trips():
+    plan = FaultPlan()
+    assert len(plan) == 0
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_plans_with_different_events_are_not_equal():
+    a = FaultPlan(events=[NodeCrash(3, 10.0)])
+    b = FaultPlan(events=[NodeCrash(3, 11.0)])
+    assert a != b
+
+
+def test_negative_time_rejected():
+    with pytest.raises(FaultPlanError):
+        NodeCrash(1, -1.0)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(FaultPlanError):
+        LinkBlackout(1, 2, 10.0, 10.0)
+
+
+def test_self_link_blackout_rejected():
+    with pytest.raises(FaultPlanError):
+        LinkBlackout(2, 2, 0.0, 1.0)
+
+
+def test_probability_out_of_range_rejected():
+    with pytest.raises(FaultPlanError):
+        PacketFuzz(0.0, 1.0, corrupt=1.5)
+
+
+def test_partition_needs_disjoint_groups():
+    with pytest.raises(FaultPlanError):
+        Partition([[0, 1], [1, 2]], 0.0, 1.0)
+    with pytest.raises(FaultPlanError):
+        Partition([[0, 1]], 0.0, 1.0)  # one group is no partition
+
+
+def test_partition_cross_pairs_cover_only_cross_links():
+    partition = Partition([[0, 1], [2], [3]], 0.0, 1.0)
+    pairs = set(frozenset(p) for p in partition.cross_pairs())
+    assert frozenset((0, 1)) not in pairs
+    assert pairs == {
+        frozenset((0, 2)), frozenset((0, 3)), frozenset((1, 2)),
+        frozenset((1, 3)), frozenset((2, 3)),
+    }
+
+
+def test_reboot_without_crash_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultPlan(events=[NodeReboot(3, 20.0)])
+    with pytest.raises(FaultPlanError):
+        FaultPlan(events=[NodeCrash(3, 30.0), NodeReboot(3, 20.0)])
+
+
+def test_double_crash_without_reboot_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultPlan(events=[NodeCrash(3, 10.0), NodeCrash(3, 20.0)])
+    # crash -> reboot -> crash again is legitimate churn
+    FaultPlan(events=[NodeCrash(3, 10.0), NodeReboot(3, 20.0),
+                      NodeCrash(3, 30.0)])
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"events": [{"kind": "meteor_strike", "time": 1}]})
+
+
+def test_describe_mentions_every_event():
+    text = _full_plan().describe()
+    for token in ("crash", "reboot", "blackout", "partition", "fuzz",
+                  "reconvergence"):
+        assert token in text
