@@ -14,6 +14,8 @@ cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
 lint          determinism & protocol-conformance static analysis
+bench         kernel microbenchmarks (spatial index fast path) with a
+              speedup-regression gate against the committed baseline
 
 ``compare``, ``table1`` and ``figure`` run their trials through the
 campaign engine: ``--jobs N`` fans trials over N worker processes and
@@ -54,6 +56,9 @@ def _add_scenario_args(parser):
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--width", type=float, default=None)
     parser.add_argument("--height", type=float, default=None)
+    parser.add_argument("--index", default="grid", choices=["grid", "scan"],
+                        help="channel spatial-index backend (observationally "
+                             "identical; 'scan' is the brute-force reference)")
 
 
 def _add_exec_args(parser):
@@ -88,6 +93,7 @@ def _scenario_from(args, protocol=None):
         protocol=protocol or args.protocol, num_nodes=args.nodes,
         width=width, height=height, num_flows=args.flows,
         duration=args.duration, pause_time=args.pause, seed=args.seed,
+        channel_index=getattr(args, "index", "grid"),
     )
 
 
@@ -227,6 +233,12 @@ def cmd_lint(args):
     return lint_cli.run(args, sys.stdout)
 
 
+def cmd_bench(args):
+    from repro.bench import cli as bench_cli
+
+    return bench_cli.run(args, sys.stdout)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -298,6 +310,15 @@ def main(argv=None):
         help="determinism & protocol-conformance static analysis",
     )
     p.set_defaults(func=cmd_lint)
+
+    from repro.bench.cli import build_parser as build_bench_parser
+
+    p = sub.add_parser(
+        "bench",
+        parents=[build_bench_parser(add_help=False)],
+        help="kernel microbenchmarks with a speedup-regression gate",
+    )
+    p.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -25,7 +25,10 @@ import repro
 #: results changes without a package version bump.
 #: 2: rows gained loop_violations / invariant_violations / invariant_breakdown
 #:    and configs gained fault_plan + invariant_check fields.
-CACHE_SCHEMA = 2
+#: 3: configs gained channel_index (spatial fast path seam); grid and scan
+#:    rows are byte-identical, but the serialized config payload changed
+#:    shape, so pre-seam entries must miss rather than alias.
+CACHE_SCHEMA = 3
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

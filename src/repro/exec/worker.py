@@ -9,11 +9,23 @@ simulation cannot stall the whole campaign — come back as ``{"ok": False,
 "error": ...}`` outcomes for the engine to retry or report.
 """
 
+import os
 import signal
 import threading
 import traceback
 
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+#: Environment override forcing every trial onto one spatial-index
+#: backend ("grid"/"scan") regardless of what the dispatched config says.
+#: The backends are observationally identical (equivalence suite), so the
+#: returned rows do not change — the knob exists for kernel benchmarking
+#: and for bisecting a suspected fast-path divergence without touching
+#: campaign code.  It deliberately does NOT alter the config used for
+#: cache keying: the cache is written by the engine from the original
+#: config, and an override that changed rows would be a bug the
+#: equivalence tests exist to catch.
+CHANNEL_INDEX_ENV = "REPRO_CHANNEL_INDEX"
 
 
 class TrialTimeout(Exception):
@@ -65,6 +77,9 @@ def run_trial_payload(payload):
 
     def trial():
         config = ScenarioConfig.from_dict(payload["config"])
+        override = os.environ.get(CHANNEL_INDEX_ENV)
+        if override:
+            config = config.replaced(channel_index=override)
         return run_scenario(config).as_dict()
 
     return _run_guarded(trial, payload.get("timeout"))

@@ -10,7 +10,7 @@ from repro.core import LdrConfig, LdrProtocol
 from repro.faults import FaultInjector, FaultPlan, InvariantMonitor
 from repro.metrics import MetricsCollector, RunReport
 from repro.mobility import RandomWaypoint, StaticPlacement
-from repro.net import MacConfig, Node, WirelessChannel
+from repro.net import INDEX_BACKENDS, MacConfig, Node, WirelessChannel
 from repro.protocols import (
     AodvConfig,
     AodvProtocol,
@@ -140,6 +140,7 @@ class ScenarioConfig:
         max_speed=20.0,
         transmission_range=275.0,
         gray_zone=0.0,
+        channel_index="grid",
         seed=1,
         protocol_config=None,
         mac_config=None,
@@ -168,6 +169,12 @@ class ScenarioConfig:
         self.max_speed = max_speed
         self.transmission_range = transmission_range
         self.gray_zone = gray_zone
+        if channel_index not in INDEX_BACKENDS:
+            raise ValueError(
+                "unknown channel_index %r (choose from %s)"
+                % (channel_index, sorted(INDEX_BACKENDS))
+            )
+        self.channel_index = channel_index
         self.seed = seed
         self.protocol_config = protocol_config
         self.mac_config = mac_config
@@ -200,6 +207,12 @@ class ScenarioConfig:
         "max_speed",
         "transmission_range",
         "gray_zone",
+        # The spatial-index backend is observationally inert (grid and
+        # scan produce byte-identical rows), but it stays part of the
+        # serialized identity so cached rows record exactly how they were
+        # produced; two configs differing only here hash to different
+        # trial keys.
+        "channel_index",
         "seed",
         "loop_check",
         "warmup",
@@ -294,6 +307,7 @@ class Scenario:
             self.sim, self.mobility,
             transmission_range=config.transmission_range,
             gray_zone=config.gray_zone,
+            index=config.channel_index,
         )
         protocol_cls, default_config = PROTOCOLS[config.protocol]
         proto_config = config.protocol_config

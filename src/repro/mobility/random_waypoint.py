@@ -70,6 +70,11 @@ class RandomWaypoint(MobilityModel):
             )
         if hasattr(rng, "stream"):  # RngStreams: draw the named stream
             rng = rng.stream("mobility")
+        # Trajectories are continuous piecewise-linear legs at speeds drawn
+        # from [min_speed, max_speed]: max_speed is a true Lipschitz bound,
+        # which lets the channel's spatial index reuse cell buckets across
+        # events (see repro.net.spatial).
+        self.max_speed = float(max_speed)
         self.num_nodes = num_nodes
         self.width = float(width)
         self.height = float(height)
@@ -108,6 +113,21 @@ class RandomWaypoint(MobilityModel):
         if index < 0:
             index = 0
         return legs[index].position(t)
+
+    def positions_at(self, node_ids, t):
+        # Bulk snapshot for the spatial index: same bisect + same leg
+        # interpolation as position(), just without the per-call attribute
+        # traffic, so the values are bit-identical to per-node lookups.
+        all_legs = self._legs
+        all_starts = self._leg_starts
+        bisect_right = bisect.bisect_right
+        out = {}
+        for node_id in node_ids:
+            index = bisect_right(all_starts[node_id], t) - 1
+            if index < 0:
+                index = 0
+            out[node_id] = all_legs[node_id][index].position(t)
+        return out
 
     def node_ids(self):
         return list(range(self.num_nodes))

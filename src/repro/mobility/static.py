@@ -14,18 +14,32 @@ class StaticPlacement(MobilityModel):
     build the topologies the test-suite leans on.
     """
 
+    #: Positions are time-invariant; the spatial index may keep one
+    #: snapshot for the whole run (invalidated by :meth:`move`).
+    static = True
+
     def __init__(self, positions):
         self.positions = dict(positions)
+        self.version = 0
 
     def position(self, node_id, t):
         return self.positions[node_id]
+
+    def positions_at(self, node_ids, t):
+        positions = self.positions
+        return {node_id: positions[node_id] for node_id in node_ids}
 
     def node_ids(self):
         return list(self.positions)
 
     def move(self, node_id, x, y):
-        """Teleport a node (tests use this to break/create links)."""
+        """Teleport a node (tests use this to break/create links).
+
+        Bumps :attr:`version` so memoized position snapshots in the
+        channel's spatial index are invalidated at once.
+        """
         self.positions[node_id] = (x, y)
+        self.version += 1
 
     @classmethod
     def line(cls, count, spacing=200.0):

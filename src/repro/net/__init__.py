@@ -17,14 +17,18 @@ from repro.net.channel import WirelessChannel
 from repro.net.mac import CsmaMac, MacConfig
 from repro.net.node import BROADCAST, Node
 from repro.net.packet import DataPacket, Frame, Packet
+from repro.net.spatial import INDEX_BACKENDS, GridIndex, ScanIndex
 
 __all__ = [
     "BROADCAST",
     "CsmaMac",
     "DataPacket",
     "Frame",
+    "GridIndex",
+    "INDEX_BACKENDS",
     "MacConfig",
     "Node",
     "Packet",
+    "ScanIndex",
     "WirelessChannel",
 ]

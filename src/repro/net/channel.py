@@ -14,6 +14,15 @@ Positions come from the mobility model; a transmission uses the positions
 at its start time.  This matches the granularity of packet-level simulators
 such as GloMoSim: links do not flip mid-frame.
 
+Geometry queries go through a pluggable spatial index
+(:mod:`repro.net.spatial`; ``index="grid"`` by default, ``"scan"`` is the
+brute-force reference).  The two backends are observationally identical —
+same neighbor sets in the same order, same RNG draw order, byte-identical
+metrics for any (seed, plan) — the grid is purely a fast path.  One
+position snapshot per event-time serves the sender-coverage, virtual-CTS
+and gray-zone distance queries of a ``transmit``, so the mobility model is
+consulted exactly once per node per transmission instead of 2–3 times.
+
 The channel is also where the fault layer (:mod:`repro.faults`) plugs in:
 
 * a **link-deny filter** (:meth:`WirelessChannel.deny_link`) removes a pair
@@ -25,6 +34,8 @@ The channel is also where the fault layer (:mod:`repro.faults`) plugs in:
   fault injector corrupt, delay, or duplicate individual receptions from
   its own seeded RNG stream.
 """
+
+from repro.net.spatial import make_index
 
 PROPAGATION_DELAY = 1e-6  # seconds; ~300 m at light speed, kept constant
 
@@ -56,10 +67,15 @@ class WirelessChannel:
     """Connects node MACs through the shared medium."""
 
     def __init__(self, sim, mobility, transmission_range=275.0,
-                 gray_zone=0.0):
+                 gray_zone=0.0, index="grid"):
         self.sim = sim
         self.mobility = mobility
         self.range = float(transmission_range)
+        # Spatial fast path for neighbor/position queries ("grid"), with
+        # the brute-force reference scan selectable for A/B checks
+        # ("scan").  Observationally identical by construction and by the
+        # equivalence suite (tests/net/test_spatial_equivalence.py).
+        self.index = make_index(index, sim, mobility, self.range)
         # Fraction of the range that is a lossy "gray zone": a reception
         # whose distance falls in the outer ``gray_zone`` band fails with
         # probability growing linearly to 50% at the edge.  0 = the
@@ -83,6 +99,7 @@ class WirelessChannel:
         """Register a node; called by :class:`~repro.net.node.Node`."""
         self.nodes[node.node_id] = node
         self._receptions[node.node_id] = []
+        self.index.attach(node.node_id)
 
     def deny_link(self, a, b):
         """Administratively remove the (a, b) link (fault injection)."""
@@ -109,20 +126,13 @@ class WirelessChannel:
         a powered-off radio neither hears nor acknowledges anything.
         """
         t = self.sim.now if at_time is None else at_time
-        x, y = self.mobility.position(node_id, t)
-        limit = self.range * self.range
         result = []
-        for other_id in self.nodes:
-            if other_id == node_id:
-                continue
+        for other_id in self.index.near(node_id, t):
             if not self._is_alive(other_id):
                 continue
             if not self.link_allowed(node_id, other_id):
                 continue
-            ox, oy = self.mobility.position(other_id, t)
-            dx, dy = ox - x, oy - y
-            if dx * dx + dy * dy <= limit:
-                result.append(other_id)
+            result.append(other_id)
         return result
 
     def in_range(self, a, b, at_time=None):
@@ -132,8 +142,8 @@ class WirelessChannel:
         if not (self._is_alive(a) and self._is_alive(b)):
             return False
         t = self.sim.now if at_time is None else at_time
-        ax, ay = self.mobility.position(a, t)
-        bx, by = self.mobility.position(b, t)
+        ax, ay = self.index.position(a, t)
+        bx, by = self.index.position(b, t)
         dx, dy = ax - bx, ay - by
         return dx * dx + dy * dy <= self.range * self.range
 
@@ -149,6 +159,10 @@ class WirelessChannel:
         now = self.sim.now
         end = now + duration
         sender_id = frame.sender
+        # All geometry below (coverage here, the virtual CTS's receiver
+        # neighborhood, per-receiver gray-zone distances) is asked at the
+        # same (event, time), so the grid index serves it from a single
+        # position snapshot: one mobility lookup per node per transmit.
         receiver_ids = self.neighbors_of(sender_id)
 
         for obs in self.observers:
@@ -218,8 +232,8 @@ class WirelessChannel:
 
     def _gray_zone_loss(self, a, b, t):
         """Random loss in the outer band of the transmission range."""
-        ax, ay = self.mobility.position(a, t)
-        bx, by = self.mobility.position(b, t)
+        ax, ay = self.index.position(a, t)
+        bx, by = self.index.position(b, t)
         distance = ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
         inner = self.range * (1.0 - self.gray_zone)
         if distance <= inner:

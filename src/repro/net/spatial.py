@@ -1,0 +1,352 @@
+"""Spatial indexing for the wireless channel's neighbor queries.
+
+``WirelessChannel.neighbors_of`` / ``in_range`` dominate every trial: each
+``transmit`` needs the sender's coverage set, the receiver's neighborhood
+(virtual CTS) and per-receiver distances (gray zone), which with the naive
+scan is O(N) per query and O(N²) per broadcast flood.  This module gives
+the channel a pluggable index seam:
+
+* :class:`ScanIndex` — the original brute-force scan, kept as the
+  reference implementation (``index="scan"``);
+* :class:`GridIndex` — a uniform grid whose cell edge is (slightly more
+  than) the transmission range, so any node within range of a query point
+  lies in the query's cell or one of its 8 neighbors (``index="grid"``,
+  the default).
+
+Both backends are **observationally identical**: the same node ids, in the
+same order (channel attach order, i.e. the order nodes joined), decided by
+the *same* floating-point expression ``dx*dx + dy*dy <= range*range`` on
+the same position values.  Liveness and link-deny filtering stay in the
+channel, so fault overlays never touch the index.
+
+Two-tier memoization
+--------------------
+The grid keeps two caches with different lifetimes:
+
+**Exact positions** are memoized lazily per *(event epoch, query time,
+mobility version)*: the first query for a node's position in that key
+computes it, later queries reuse it.
+
+* the **event epoch** (:attr:`~repro.sim.simulator.Simulator.event_epoch`)
+  increments each time the scheduler dispatches an event, so a memo never
+  outlives the event that built it — even a mobility model mutated
+  mid-run (``StaticPlacement.move`` in tests) cannot serve stale
+  positions to a later event;
+* the **query time** covers repeated queries inside one event (a
+  ``transmit`` computes coverage + CTS + gray-zone distances from one
+  memo — at most one ``mobility.position`` call per node per transmit);
+* the **mobility version** (:attr:`~repro.mobility.base.MobilityModel.
+  version`) covers same-event mutation: models that move nodes outside
+  their pure ``position(node_id, t)`` contract bump it.
+
+**Cell buckets** are deliberately *stale-tolerant*.  When the mobility
+model declares a Lipschitz bound (:attr:`~repro.mobility.base.
+MobilityModel.max_speed`), cells are built :data:`BUCKET_SLACK` ranges
+wide and a bucketing built at time ``t0`` stays valid while the
+worst-case drift ``max_speed * |t - t0|`` fits in the extra half range:
+the 3×3 ring then still covers ``range + drift``, and every candidate is
+verified against its *exact* position at the query time, so staleness can
+only add candidates, never drop a true neighbor or admit a false one.
+That turns bucket construction from a per-event cost into a
+once-per-``range/(2·max_speed)``-sim-seconds cost.  Models with
+``static = True`` never drift (tight cells, buckets live until a
+``version`` bump); models with ``max_speed = None`` (unknown motion law)
+rebuild per position-memo key — always safe, never wrong.
+"""
+
+#: Relative margin added to the grid cell edge.  A node at distance
+#: *exactly* ``range`` must be found in the 3×3 cell neighborhood even
+#: when the floating-point division ``x / cell`` rounds across a cell
+#: boundary; a margin of one part in 10⁶ dwarfs any double-rounding slop
+#: while leaving the asymptotics (≤ 9 cells per query) untouched.
+CELL_MARGIN = 1.000001
+
+#: Cell-edge multiplier for speed-bounded mobility: cells are built half
+#: a range wider than strictly necessary, so the 3×3 ring remains
+#: sufficient while worst-case drift stays under the extra half range
+#: (``range + drift <= 1.5 * range = cell``).  Buckets are rebuilt when
+#: drift exhausts that slack, keeping the per-query window at 4.5 ranges
+#: instead of letting the ring widen to 5×5 cells (5 ranges).
+BUCKET_SLACK = 1.5
+
+
+class NeighborIndex:
+    """Interface the channel's geometry queries go through.
+
+    Implementations answer *pure geometry*: which attached nodes are
+    within transmission range, and where is a node right now.  They know
+    nothing about liveness or administrative link state.
+    """
+
+    #: Seam name (the ``index=`` value that selects this backend).
+    name = "?"
+
+    def attach(self, node_id):
+        """Register a node; queries return ids in attach order."""
+        raise NotImplementedError
+
+    def position(self, node_id, t):
+        """The node's ``(x, y)`` at time ``t`` (memoized where possible)."""
+        raise NotImplementedError
+
+    def near(self, node_id, t):
+        """Ids within transmission range of ``node_id`` at ``t``.
+
+        Excludes ``node_id`` itself; ordered by attach order, matching
+        the reference scan exactly.
+        """
+        raise NotImplementedError
+
+
+class ScanIndex(NeighborIndex):
+    """Brute-force reference: O(N) per query, zero bookkeeping.
+
+    This is byte-for-byte the channel's original loop; it exists so the
+    grid's equivalence is checkable against live code, and as the
+    fallback for workloads where building snapshots cannot pay off.
+    """
+
+    name = "scan"
+
+    def __init__(self, sim, mobility, transmission_range):
+        self.mobility = mobility
+        self.range = float(transmission_range)
+        self._order = []
+
+    def attach(self, node_id):
+        if node_id not in self._order:
+            self._order.append(node_id)
+
+    def position(self, node_id, t):
+        return self.mobility.position(node_id, t)
+
+    def near(self, node_id, t):
+        x, y = self.mobility.position(node_id, t)
+        limit = self.range * self.range
+        result = []
+        for other_id in self._order:
+            if other_id == node_id:
+                continue
+            ox, oy = self.mobility.position(other_id, t)
+            dx, dy = ox - x, oy - y
+            if dx * dx + dy * dy <= limit:
+                result.append(other_id)
+        return result
+
+
+class GridIndex(NeighborIndex):
+    """Uniform-grid index with drift-tolerant buckets and lazy positions.
+
+    Cell edge = transmission range (+ :data:`CELL_MARGIN`; ×
+    :data:`BUCKET_SLACK` for speed-bounded mobility), so the range disk
+    around any point — inflated by the worst-case drift since the buckets
+    were built — is covered by a small ring of cells around the query
+    cell (3×3 while drift fits the slack).  Membership is always decided
+    on *exact* positions at the query time (lazily memoized per event —
+    see module docstring), so bucket staleness only costs extra candidate
+    checks, never correctness.
+    """
+
+    name = "grid"
+
+    def __init__(self, sim, mobility, transmission_range):
+        self.sim = sim
+        self.mobility = mobility
+        self.range = float(transmission_range)
+        # Static placements do not depend on time at all: one bucketing
+        # serves the whole run until a move() bumps the model's version.
+        self._static = bool(getattr(mobility, "static", False))
+        self._scheduler = sim.scheduler
+        base = self.range * CELL_MARGIN if self.range > 0 else 1.0
+        max_speed = getattr(mobility, "max_speed", None)
+        if self._static or max_speed == 0:
+            # No drift ever: tight cells (3×3 window = 3 ranges), buckets
+            # live until a version bump or a new attachment.
+            self._max_speed = 0.0
+            self.cell = base
+            self._bucket_limit = float("inf")
+        elif max_speed is None:
+            # Unknown motion law: no drift bound exists, so buckets are
+            # only trusted within one position-memo key (conservative:
+            # rebuild whenever the event epoch / time / version moves).
+            self._max_speed = 0.0
+            self.cell = base
+            self._bucket_limit = None
+        else:
+            # Speed-bounded motion: wider cells buy a drift allowance of
+            # half a range before a rebuild is needed (BUCKET_SLACK).
+            self._max_speed = float(max_speed)
+            self.cell = base * BUCKET_SLACK
+            self._bucket_limit = (self.cell - base) / self._max_speed
+        self._ids = []
+        self._rank = {}  # node id -> attach order, for output ordering
+        # Exact positions at the current (epoch, t, version) key, filled
+        # lazily one node at a time.
+        self._pos_key = None
+        self._pos = {}
+        # Stale-tolerant buckets: cell coord -> [(node_id, x, y), ...] in
+        # attach order, positions as of the build time ``_bucket_t``.
+        self._cells = None
+        self._all = []  # the same entries as one attach-ordered list
+        self._bounds = (0, -1, 0, -1)  # occupied-cell bounding box
+        self._bucket_t = 0.0
+        self._bucket_version = None
+        self._bucket_key = None  # position-memo key at build time
+        #: Bucket builds performed (tests assert reuse across events).
+        self.builds = 0
+
+    def attach(self, node_id):
+        if node_id not in self._rank:
+            self._rank[node_id] = len(self._ids)
+            self._ids.append(node_id)
+            self._cells = None  # rebucket so the new node is findable
+
+    def _pos_at(self, t):
+        """The lazy exact-position memo for the current key."""
+        version = getattr(self.mobility, "version", None)
+        key = version if self._static else (self._scheduler.epoch, t, version)
+        if key != self._pos_key:
+            self._pos_key = key
+            self._pos = {}
+        return self._pos
+
+    def position(self, node_id, t):
+        # Never builds buckets: point lookups (in_range, gray zone) cost
+        # one mobility call at most, memoized for the rest of the event.
+        pos = self._pos_at(t)
+        xy = pos.get(node_id)
+        if xy is None:
+            xy = self.mobility.position(node_id, t)
+            pos[node_id] = xy
+        return xy
+
+    def _ensure_buckets(self, t, version):
+        if self._cells is not None and version == self._bucket_version:
+            limit = self._bucket_limit
+            if limit is None:
+                if self._bucket_key == self._pos_key:
+                    return
+            elif abs(t - self._bucket_t) <= limit:
+                return
+        positions = self.mobility.positions_at(self._ids, t)
+        cell = self.cell
+        cells = {}
+        entries = []  # every (id, x, y) in attach order, for covered scans
+        for node_id in self._ids:
+            x, y = positions[node_id]
+            entry = (node_id, x, y)
+            entries.append(entry)
+            coord = (int(x // cell), int(y // cell))
+            bucket = cells.get(coord)
+            if bucket is None:
+                cells[coord] = [entry]
+            else:
+                bucket.append(entry)
+        self._cells = cells
+        self._all = entries
+        if cells:
+            xs = [coord[0] for coord in cells]
+            ys = [coord[1] for coord in cells]
+            self._bounds = (min(xs), max(xs), min(ys), max(ys))
+        else:
+            self._bounds = (0, -1, 0, -1)
+        self._bucket_t = t
+        self._bucket_version = version
+        self._bucket_key = self._pos_key
+        # Seed the exact memo: positions_at is contractually bit-identical
+        # to per-node position() calls at the same t.
+        self._pos.update(positions)
+        self.builds += 1
+
+    def near(self, node_id, t):
+        pos = self._pos_at(t)  # refresh _pos_key before the bucket check
+        version = getattr(self.mobility, "version", None)
+        self._ensure_buckets(t, version)
+        xy = pos.get(node_id)
+        if xy is None:
+            xy = self.mobility.position(node_id, t)
+            pos[node_id] = xy
+        x, y = xy
+        cell = self.cell
+        cx, cy = int(x // cell), int(y // cell)
+        limit = self.range * self.range
+        cells = self._cells
+        mobility_position = self.mobility.position
+        # Ring radius: a true neighbor's *bucket-time* position is within
+        # range + max_speed*|t - t0| of the query point, and a ring of R
+        # cells around the query cell covers every point within R*cell of
+        # it; take the smallest R with R*cell >= that reach (drift 0 gives
+        # the classic 3×3).  CELL_MARGIN absorbs the float slop of the
+        # // divisions.
+        drift = self._max_speed * abs(t - self._bucket_t)
+        if drift == 0.0:
+            ring = 1
+        else:
+            reach = self.range * CELL_MARGIN + drift
+            ring = int(-(-reach // cell))
+        # Buckets built in this very memo key hold the exact positions;
+        # otherwise verify each candidate against the lazy exact memo.
+        fresh = self._bucket_key == self._pos_key
+        found = []
+        minx, maxx, miny, maxy = self._bounds
+        if cx - ring <= minx and maxx <= cx + ring \
+                and cy - ring <= miny and maxy <= cy + ring:
+            # The ring spans every occupied cell (common at the paper's
+            # density, where one transmission range covers much of the
+            # terrain): walk the attach-ordered entry list directly — no
+            # bucket gathering, and the output needs no sort.
+            for other_id, bx, by in self._all:
+                if other_id == node_id:
+                    continue
+                if fresh:
+                    ox, oy = bx, by
+                else:
+                    oxy = pos.get(other_id)
+                    if oxy is None:
+                        oxy = mobility_position(other_id, t)
+                        pos[other_id] = oxy
+                    ox, oy = oxy
+                dx, dy = ox - x, oy - y
+                if dx * dx + dy * dy <= limit:
+                    found.append(other_id)
+            return found
+        for gx in range(cx - ring, cx + ring + 1):
+            for gy in range(cy - ring, cy + ring + 1):
+                bucket = cells.get((gx, gy))
+                if bucket is None:
+                    continue
+                for other_id, bx, by in bucket:
+                    if other_id == node_id:
+                        continue
+                    if fresh:
+                        ox, oy = bx, by
+                    else:
+                        oxy = pos.get(other_id)
+                        if oxy is None:
+                            oxy = mobility_position(other_id, t)
+                            pos[other_id] = oxy
+                        ox, oy = oxy
+                    dx, dy = ox - x, oy - y
+                    if dx * dx + dy * dy <= limit:
+                        found.append(other_id)
+        found.sort(key=self._rank.__getitem__)
+        return found
+
+
+#: Registered index backends, keyed by their ``index=`` seam name.
+INDEX_BACKENDS = {
+    ScanIndex.name: ScanIndex,
+    GridIndex.name: GridIndex,
+}
+
+
+def make_index(name, sim, mobility, transmission_range):
+    """Build the neighbor-index backend ``name`` (``"grid"``/``"scan"``)."""
+    try:
+        backend = INDEX_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown channel index %r (choose from %s)"
+            % (name, sorted(INDEX_BACKENDS))
+        ) from None
+    return backend(sim, mobility, transmission_range)

@@ -67,12 +67,25 @@ class EventScheduler:
         self._heap: List[Event] = []
         self._seq: Iterator[int] = itertools.count()
         self._now = 0.0
+        self._epoch = 0
         self._running = False
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def epoch(self) -> int:
+        """Count of events dispatched so far.
+
+        Increments once per callback actually invoked (cancelled events
+        are skipped), *before* the callback runs, so all work done inside
+        one event shares one epoch value and no two events ever share one.
+        Memoized per-event state — the spatial index's position snapshots
+        (:mod:`repro.net.spatial`) — keys on it for invalidation.
+        """
+        return self._epoch
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
@@ -107,6 +120,7 @@ class EventScheduler:
             if event.cancelled:
                 continue
             self._now = event.time
+            self._epoch += 1
             event.callback(*event.args)
             return True
         return False

@@ -30,6 +30,11 @@ class Simulator:
         """Current simulation time in seconds."""
         return self.scheduler.now
 
+    @property
+    def event_epoch(self) -> int:
+        """Dispatched-event count; see :attr:`EventScheduler.epoch`."""
+        return self.scheduler.epoch
+
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:

@@ -151,3 +151,39 @@ def test_zero_delay_event_fires_at_now():
     sched.schedule(1.0, lambda: sched.schedule(0.0, fired.append, sched.now))
     sched.run()
     assert fired == [1.0]
+
+
+def test_epoch_increments_once_per_dispatched_event():
+    sched = EventScheduler()
+    seen = []
+    for _ in range(3):
+        sched.schedule(1.0, lambda: seen.append(sched.epoch))
+    assert sched.epoch == 0
+    sched.run()
+    # Incremented *before* each callback: every event sees a distinct
+    # value and no two events share one (the spatial index keys on this).
+    assert seen == [1, 2, 3]
+    assert sched.epoch == 3
+
+
+def test_epoch_skips_cancelled_events():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    dropped = sched.schedule(2.0, fired.append, "b")
+    sched.schedule(3.0, fired.append, "c")
+    dropped.cancel()
+    sched.run()
+    assert fired == ["a", "c"]
+    assert sched.epoch == 2
+
+
+def test_simulator_exposes_event_epoch():
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=1)
+    seen = []
+    sim.schedule(0.5, lambda: seen.append(sim.event_epoch))
+    sim.schedule(0.5, lambda: seen.append(sim.event_epoch))
+    sim.run(until=1.0)
+    assert seen == [1, 2]  # same time, distinct epochs
