@@ -4,18 +4,23 @@ Commands
 --------
 run           one scenario, print the paper's metrics
               (``--faults PLAN.json`` injects a fault plan;
-              ``--invariants`` turns on the invariant monitor)
+              ``--invariants`` turns on the invariant monitor;
+              ``--trace OUT.jsonl`` writes a structured event trace;
+              ``--profile`` prints hot-loop counters/timers)
 compare       several protocols on the identical workload
 table1        regenerate Table 1 for a flow count
 figure        regenerate one of Figures 2-7
 campaign      named extra campaigns (``churn``: crash/reboot/partition
-              grids over LDR vs AODV vs DSR with the monitor on)
+              grids over LDR vs AODV vs DSR with the monitor on;
+              ``--trace [DIR]`` keeps a per-trial JSONL trace artifact)
 cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
 lint          determinism & protocol-conformance static analysis
 bench         kernel microbenchmarks (spatial index fast path) with a
               speedup-regression gate against the committed baseline
+trace         inspect a JSONL trace artifact: summarize, filter, replay
+              a destination's route timeline, or diff two traces
 
 ``compare``, ``table1`` and ``figure`` run their trials through the
 campaign engine: ``--jobs N`` fans trials over N worker processes and
@@ -34,7 +39,6 @@ from repro.experiments import (
     PROTOCOLS,
     ScenarioConfig,
     build_scenario,
-    run_scenario,
 )
 from repro.experiments.campaigns import Campaign, churn_table, format_churn
 from repro.faults import FaultPlan, FaultPlanError
@@ -83,6 +87,7 @@ def _campaign_from(args):
         paper_scale=args.paper_scale, duration=args.duration,
         trials=args.trials, jobs=args.jobs, use_cache=not args.no_cache,
         cache_dir=args.cache_dir, progress=_progress(args),
+        trace_dir=getattr(args, "trace", None),
     )
 
 
@@ -114,10 +119,22 @@ def cmd_run(args):
             return 2
     if args.invariants or config.fault_plan is not None:
         config = config.replaced(invariant_check=True)
+    if args.trace:
+        config = config.replaced(trace=True)
     scenario = build_scenario(config)
     if config.fault_plan is not None and sys.stderr.isatty():
         print(config.fault_plan.describe(), file=sys.stderr)
     report = scenario.run()
+    if args.trace:
+        from repro.obs import trace_header, write_trace
+
+        count = write_trace(args.trace, scenario.trace,
+                            header=trace_header(config=config))
+        print("trace: %d event(s) -> %s" % (count, args.trace),
+              file=sys.stderr)
+    if args.profile:
+        print(json.dumps(report.profile_dict(), indent=2, sort_keys=True),
+              file=sys.stderr)
     print(json.dumps(report.as_dict(), indent=2))
     if scenario.monitor is not None and scenario.monitor.violations:
         for when, kind, detail in scenario.monitor.violations:
@@ -239,6 +256,12 @@ def cmd_bench(args):
     return bench_cli.run(args, sys.stdout)
 
 
+def cmd_trace(args):
+    from repro.obs import cli as trace_cli
+
+    return trace_cli.run(args, sys.stdout)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -251,6 +274,12 @@ def main(argv=None):
     p.add_argument("--invariants", action="store_true",
                    help="run the invariant monitor (implied by --faults); "
                         "exit 1 on any violation")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="record a structured event trace (repro.obs) and "
+                        "write it to this JSONL file")
+    p.add_argument("--profile", action="store_true",
+                   help="print event-dispatch counters and per-phase "
+                        "timers to stderr after the run")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="compare protocols on one workload")
@@ -281,6 +310,10 @@ def main(argv=None):
     p.add_argument("--paper-scale", action="store_true")
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--trace", nargs="?", const="traces", default=None,
+                   metavar="DIR",
+                   help="keep a per-trial JSONL trace artifact under DIR "
+                        "(default ./traces); inspect with 'repro trace'")
     _add_exec_args(p)
     p.set_defaults(func=cmd_campaign)
 
@@ -319,6 +352,15 @@ def main(argv=None):
         help="kernel microbenchmarks with a speedup-regression gate",
     )
     p.set_defaults(func=cmd_bench)
+
+    from repro.obs.cli import register_parser as register_trace_parser
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize, filter, replay, or diff JSONL trace artifacts",
+    )
+    register_trace_parser(p)
+    p.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,7 +28,11 @@ import repro
 #: 3: configs gained channel_index (spatial fast path seam); grid and scan
 #:    rows are byte-identical, but the serialized config payload changed
 #:    shape, so pre-seam entries must miss rather than alias.
-CACHE_SCHEMA = 3
+#: 4: configs gained the trace opt-in (repro.obs); tracing is passive and
+#:    rows are unchanged, but the serialized config payload changed shape
+#:    again, and traced trials may now carry a sibling ``*.trace.jsonl``
+#:    artifact next to their row.
+CACHE_SCHEMA = 4
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -74,6 +78,10 @@ class ResultCache:
 
     def _path(self, key):
         return self.root / key[:2] / (key + ".json")
+
+    def trace_path(self, key):
+        """Where a traced trial's JSONL artifact lives, next to its row."""
+        return self.root / key[:2] / (key + ".trace.jsonl")
 
     def get(self, key):
         """The cached row for ``key``, or None (corrupt entries = miss)."""
@@ -125,8 +133,9 @@ class ResultCache:
                 continue
 
     def stats(self):
-        """``{"dir", "entries", "bytes"}`` for ``repro cache``."""
+        """``{"dir", "entries", "traces", "bytes"}`` for ``repro cache``."""
         entries = 0
+        traces = 0
         total_bytes = 0
         if self.root.is_dir():
             for path in self.root.glob("??/*.json"):
@@ -135,13 +144,26 @@ class ResultCache:
                 except OSError:
                     continue
                 entries += 1
-        return {"dir": str(self.root), "entries": entries, "bytes": total_bytes}
+            for path in self.root.glob("??/*.trace.jsonl"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                traces += 1
+        return {"dir": str(self.root), "entries": entries, "traces": traces,
+                "bytes": total_bytes}
 
     def clear(self):
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (trace artifacts too); returns rows removed."""
         removed = 0
         if not self.root.is_dir():
             return removed
+        for path in self.root.glob("??/*.trace.jsonl"):
+            try:
+                path.unlink()
+            except OSError as exc:
+                if exc.errno != errno.ENOENT:
+                    raise
         for path in self.root.glob("??/*.json"):
             try:
                 path.unlink()

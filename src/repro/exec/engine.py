@@ -12,6 +12,7 @@ exactly the sequence a serial loop would have produced.
 """
 
 import multiprocessing
+import pathlib
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -119,16 +120,26 @@ class CampaignEngine:
     mp_context:
         ``multiprocessing`` start-method name or context for the pool
         (default: the platform default).
+    trace_dir:
+        Directory for per-trial JSONL trace artifacts
+        (``<key>.trace.jsonl``, see :mod:`repro.obs`), or None (default)
+        for no tracing.  A cached trial whose artifact is missing is
+        re-executed so the artifact always exists afterwards; its row is
+        byte-identical either way.  Trials whose configs cannot be
+        serialized have no stable key and are never traced.
     """
 
     def __init__(self, jobs=1, cache=None, retries=1, timeout=None,
-                 progress=None, mp_context=None):
+                 progress=None, mp_context=None, trace_dir=None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.retries = max(0, int(retries))
         self.timeout = timeout
         self.progress = progress
         self.mp_context = mp_context
+        self.trace_dir = (
+            pathlib.Path(trace_dir) if trace_dir is not None else None
+        )
         self._start = None
         #: Out-of-band warnings emitted during the last :meth:`run`
         #: (currently: worker-pool breakdowns).  Also forwarded to the
@@ -155,12 +166,14 @@ class CampaignEngine:
             except ConfigSerializationError:
                 trial.key = None  # live objects: run in-process, uncached
             if self.cache is not None and trial.key is not None:
-                row = self.cache.get(trial.key)
-                if row is not None:
-                    trial.row = row
-                    trial.cached = True
-                    self._emit(trials)
-                    continue
+                trace = self._trace_path(trial)
+                if trace is None or trace.is_file():
+                    row = self.cache.get(trial.key)
+                    if row is not None:
+                        trial.row = row
+                        trial.cached = True
+                        self._emit(trials)
+                        continue
             pending.append(trial)
 
         if self.jobs > 1:
@@ -179,8 +192,18 @@ class CampaignEngine:
 
     # -- execution paths -----------------------------------------------
 
+    def _trace_path(self, trial):
+        """Where this trial's trace artifact goes, or None (untraced)."""
+        if self.trace_dir is None or trial.key is None:
+            return None
+        return self.trace_dir / (trial.key + ".trace.jsonl")
+
     def _payload(self, trial):
-        return {"config": trial.config.to_dict(), "timeout": self.timeout}
+        payload = {"config": trial.config.to_dict(), "timeout": self.timeout}
+        trace = self._trace_path(trial)
+        if trace is not None:
+            payload["trace"] = str(trace)
+        return payload
 
     def _execute_inproc(self, trial):
         if trial.key is None:

@@ -70,19 +70,37 @@ def run_trial_payload(payload):
     """Execute one serialized trial; returns an outcome dict.
 
     ``payload`` is ``{"config": ScenarioConfig.to_dict(), "timeout":
-    seconds-or-None}``.  The outcome is ``{"ok": True, "row":
-    RunReport.as_dict()}`` on success, else ``{"ok": False, "error":
-    traceback-text}``.
+    seconds-or-None}`` plus an optional ``"trace": path`` — when present
+    the trial runs with the :mod:`repro.obs` recorder installed and its
+    event stream is written (atomically) to that path as a JSONL trace
+    artifact.  The outcome is ``{"ok": True, "row": RunReport.as_dict()}``
+    on success — with ``"trace": path`` echoed back when an artifact was
+    written — else ``{"ok": False, "error": traceback-text}``.
     """
 
     def trial():
+        from repro.experiments.scenario import build_scenario
+
         config = ScenarioConfig.from_dict(payload["config"])
         override = os.environ.get(CHANNEL_INDEX_ENV)
         if override:
             config = config.replaced(channel_index=override)
-        return run_scenario(config).as_dict()
+        trace_path = payload.get("trace")
+        if trace_path is None:
+            return {"row": run_scenario(config).as_dict()}
+        from repro.obs import trace_header, write_trace
 
-    return _run_guarded(trial, payload.get("timeout"))
+        scenario = build_scenario(config.replaced(trace=True))
+        row = scenario.run().as_dict()
+        write_trace(trace_path, scenario.trace,
+                    header=trace_header(config=scenario.config))
+        return {"row": row, "trace": trace_path}
+
+    outcome = _run_guarded(trial, payload.get("timeout"))
+    if outcome["ok"]:
+        result = outcome.pop("row")
+        outcome.update(result)
+    return outcome
 
 
 def run_trial_config(config, timeout=None):

@@ -11,6 +11,8 @@ from repro.faults import FaultInjector, FaultPlan, InvariantMonitor
 from repro.metrics import MetricsCollector, RunReport
 from repro.mobility import RandomWaypoint, StaticPlacement
 from repro.net import INDEX_BACKENDS, MacConfig, Node, WirelessChannel
+from repro.net.packet import reset_packet_uids
+from repro.obs import TraceRecorder
 from repro.protocols import (
     AodvConfig,
     AodvProtocol,
@@ -32,6 +34,7 @@ from repro.protocols import (
 from repro.routing import LoopChecker
 from repro.sim import Simulator
 from repro.traffic import TrafficGenerator
+from repro.traffic.cbr import reset_flow_ids
 
 
 def _dsr_draft7_config():
@@ -149,6 +152,7 @@ class ScenarioConfig:
         warmup=5.0,
         fault_plan=None,
         invariant_check=False,
+        trace=False,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(
@@ -188,6 +192,11 @@ class ScenarioConfig:
             )
         self.fault_plan = fault_plan
         self.invariant_check = invariant_check
+        # Opt-in event tracing (repro.obs).  Passive: the recorder draws
+        # no randomness and schedules nothing, so metric rows are
+        # identical with tracing on or off; campaign workers use it to
+        # emit per-trial trace artifacts.
+        self.trace = bool(trace)
 
     #: Fields with plain scalar values, in declaration order.  ``to_dict``
     #: serializes these verbatim; the three object-valued fields
@@ -217,6 +226,10 @@ class ScenarioConfig:
         "loop_check",
         "warmup",
         "invariant_check",
+        # Tracing never changes rows (the recorder is passive), but like
+        # channel_index it stays part of the serialized identity so a
+        # cached row records exactly how it was produced.
+        "trace",
     )
 
     def replaced(self, **overrides):
@@ -283,6 +296,11 @@ class Scenario:
 
     def __init__(self, config):
         self.config = config
+        # Packet uids and flow ids restart per scenario so identifiers
+        # (and with them trace files) are a pure function of the trial,
+        # not of how many trials this process ran before.
+        reset_packet_uids()
+        reset_flow_ids()
         self.sim = Simulator(seed=config.seed)
         self.metrics = MetricsCollector(self.sim)
 
@@ -359,6 +377,13 @@ class Scenario:
                 protocols=self.protocols, monitor=self.monitor,
             ).install()
 
+        # Opt-in observability: the recorder installs last so its hooks
+        # chain in front of (and preserve) the monitor's / checker's, and
+        # so injector reboots re-instrument fresh protocol instances.
+        self.trace = None
+        if config.trace:
+            self.trace = TraceRecorder(self.sim).install(self)
+
         for node in self.nodes.values():
             node.start()
 
@@ -375,7 +400,10 @@ class Scenario:
 
     def run(self):
         """Run to completion and return the :class:`RunReport`."""
-        self.sim.run(until=self.config.duration)
+        profiler = self.sim.profiler
+        profiler.count("scenario.runs")
+        with profiler.timed("scenario.run"):
+            self.sim.run(until=self.config.duration)
         # Fig. 7: record each traffic destination's own sequence number.
         for dst in self.traffic.destinations_used():
             protocol = self.protocols[dst]
@@ -392,7 +420,7 @@ class Scenario:
             self.monitor.check_all(self.traffic.destinations_used())
         elif self.loop_checker is not None and self.loop_checker.violations:
             self.metrics.on_loop_violation(len(self.loop_checker.violations))
-        return RunReport(self.metrics)
+        return RunReport(self.metrics, profile=profiler)
 
 
 def build_scenario(config):

@@ -46,6 +46,12 @@ class FaultInjector:
         self.rng = sim.stream("faults")
         self._active_fuzz = []
         self.applied = []  # (time, description) log of executed transitions
+        # Observability seams (repro.obs): fault_hook(description) fires
+        # for every executed transition; reboot_hook(node_id, protocol)
+        # fires after a reboot's registries are rewired, so a trace
+        # recorder can re-instrument the fresh protocol instance.
+        self.fault_hook = None
+        self.reboot_hook = None
 
     def install(self):
         """Schedule every transition in the plan; returns self."""
@@ -72,6 +78,8 @@ class FaultInjector:
 
     def _log(self, what):
         self.applied.append((self.sim.now, what))
+        if self.fault_hook is not None:
+            self.fault_hook(what)
 
     def _crash(self, node_id):
         node = self.nodes[node_id]
@@ -92,6 +100,8 @@ class FaultInjector:
             self.protocols[node_id] = node.routing
         if self.monitor is not None:
             self.monitor.on_reboot(node_id, node.routing)
+        if self.reboot_hook is not None:
+            self.reboot_hook(node_id, node.routing)
 
     def _deny(self, pairs):
         for a, b in pairs:

@@ -79,6 +79,9 @@ class InvariantMonitor:
             list(self.protocols.values()), check_ordering=check_ordering
         )
         self.violations = []  # (sim-time, kind, detail)
+        # Observability seam (repro.obs): fn(kind, detail) per violation,
+        # called before strict-mode raises so traces keep the breach.
+        self.violation_hook = None
         self.checks_run = 0
         self._crashed = set()
         self._max_issued = {}  # dst -> freshest label the destination issued
@@ -125,6 +128,8 @@ class InvariantMonitor:
         self.violations.append((self.sim.now, kind, detail))
         if self.metrics is not None:
             self.metrics.on_invariant_violation(kind)
+        if self.violation_hook is not None:
+            self.violation_hook(kind, detail)
         if self.strict:
             raise InvariantViolation(
                 "[t=%g] %s: %s" % (self.sim.now, kind, detail))

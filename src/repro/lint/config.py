@@ -25,9 +25,12 @@ from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
 #: simulated world and therefore must be bit-deterministic under a seed.
 #: ``faults`` belongs here: fault injection replays from the dedicated
 #: ``faults`` RNG stream, so it is bound by the same rules as protocols.
+#: ``obs`` too: the trace recorder observes simulated events and its
+#: output must be byte-identical under a seed (only ``obs/profile.py``
+#: is allowlisted for wall-clock reads, and timers stay out of traces).
 DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
     {"sim", "net", "protocols", "routing", "mobility", "traffic", "core",
-     "faults"}
+     "faults", "obs"}
 )
 
 #: Layers that may define RoutingProtocol subclasses subject to the
@@ -47,7 +50,10 @@ DEFAULT_ALLOWLIST: Mapping[str, Tuple[str, ...]] = {
     # clocks by design; trial payloads never depend on them.  The bench
     # layer exists to read wall clocks (it times the kernel from outside
     # the simulated world), so it sits behind the same wall as exec/.
-    "RL002": ("exec/", "bench/"),
+    # The profiler's phase timers are host facts too: they are reported
+    # out-of-band (never in rows or traces), so perf_counter is confined
+    # to that one file.
+    "RL002": ("exec/", "bench/", "obs/profile.py"),
 }
 
 

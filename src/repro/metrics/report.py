@@ -8,8 +8,24 @@ class RunReport:
     short smoke-test simulations never divide by zero.
     """
 
-    def __init__(self, collector):
+    def __init__(self, collector, profile=None):
         self.c = collector
+        #: Optional :class:`~repro.obs.profile.Profiler` captured from the
+        #: run's simulator.  Kept out of :meth:`as_dict` on purpose: rows
+        #: are cached and compared byte-for-byte across executions, and
+        #: the profile's phase timers are wall-clock host facts.
+        self.profile = profile
+
+    def profile_dict(self):
+        """Profiling snapshot (``{"counters", "timers"}``), or ``{}``.
+
+        Counters (event dispatches, transmits, MAC activity) are
+        deterministic per trial; timers are indicative wall-clock only —
+        see :mod:`repro.obs.profile`.
+        """
+        if self.profile is None:
+            return {}
+        return self.profile.snapshot()
 
     @property
     def delivery_ratio(self):

@@ -71,6 +71,10 @@ class WirelessChannel:
         self.sim = sim
         self.mobility = mobility
         self.range = float(transmission_range)
+        # Profiling registry (repro.obs); deterministic counters only in
+        # this hot path.  getattr: hand-built stub sims in tests may not
+        # carry one.
+        self._prof = getattr(sim, "profiler", None)
         # Spatial fast path for neighbor/position queries ("grid"), with
         # the brute-force reference scan selectable for A/B checks
         # ("scan").  Observationally identical by construction and by the
@@ -126,6 +130,8 @@ class WirelessChannel:
         a powered-off radio neither hears nor acknowledges anything.
         """
         t = self.sim.now if at_time is None else at_time
+        if self._prof is not None:
+            self._prof.count("channel.neighbor_queries")
         result = []
         for other_id in self.index.near(node_id, t):
             if not self._is_alive(other_id):
@@ -164,6 +170,9 @@ class WirelessChannel:
         # same (event, time), so the grid index serves it from a single
         # position snapshot: one mobility lookup per node per transmit.
         receiver_ids = self.neighbors_of(sender_id)
+        if self._prof is not None:
+            self._prof.count("channel.transmits")
+            self._prof.count("channel.receptions", len(receiver_ids))
 
         for obs in self.observers:
             obs(sender_id, frame, receiver_ids)

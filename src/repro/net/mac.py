@@ -78,6 +78,8 @@ class CsmaMac:
         self.promiscuous_fn = None
         self.queue = DropTailQueue(self.config.queue_capacity)
         self._rng = sim.stream("mac.%d" % node_id)
+        # Profiling registry (repro.obs); deterministic counters only.
+        self._prof = getattr(sim, "profiler", None)
         self._nav = 0.0  # medium considered busy until this time
         self._current = None  # _TxJob on the air / awaiting outcome
         self._tx_end = 0.0
@@ -98,6 +100,8 @@ class CsmaMac:
             # A crashed radio silently discards everything — the backstop
             # for protocol timers that fire between crash and teardown.
             return False
+        if self._prof is not None:
+            self._prof.count("mac.sends")
         frame = Frame(packet, self.node_id, next_hop)
         job = _TxJob(frame, on_fail)
         if not self.queue.push(job):
@@ -149,6 +153,8 @@ class CsmaMac:
         """A frame addressed to us (or broadcast) decoded successfully."""
         if self.down:
             return
+        if self._prof is not None:
+            self._prof.count("mac.frames_rx")
         if self.metrics is not None:
             self.metrics.on_mac_receive(self.node_id, frame)
         if self.receive_fn is not None:

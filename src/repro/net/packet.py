@@ -12,6 +12,19 @@ import itertools
 _packet_uids = itertools.count(1)
 
 
+def reset_packet_uids():
+    """Restart the uid counter (called once per scenario build).
+
+    Uids only need to be unique *within* one run (delivery dedup keys on
+    them), but they leak into reprs and trace detail strings, so pinning
+    the counter at scenario construction makes every identifier a pure
+    function of the trial — a process that has already run ten trials and
+    a fresh ``--jobs N`` pool worker emit byte-identical traces.
+    """
+    global _packet_uids
+    _packet_uids = itertools.count(1)
+
+
 class Packet:
     """Base class for everything that crosses the air.
 

@@ -1,0 +1,67 @@
+"""Counter/timer registry for profiling the simulation hot path.
+
+Every :class:`~repro.sim.simulator.Simulator` owns a :class:`Profiler`.
+Hot-path components (the event loop, the MAC, the channel) bump named
+**counters** — plain integers, a pure function of the trial, safe to
+compare across runs — while coarse per-phase **timers** accumulate
+wall-clock seconds around whole phases (scenario build, the event loop).
+
+Wall-clock reads live in this module and nowhere else in the simulated
+world: ``obs/profile.py`` is the RL002 allowlist entry, the same wall the
+``exec/`` and ``bench/`` layers sit behind.  Timer values are host facts,
+not simulation facts — they never enter metric rows, cache entries, or
+trace files, all of which must stay byte-identical across machines.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class Profiler:
+    """Named monotonic counters plus accumulated per-phase wall timers."""
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self):
+        self.counters = {}
+        self.timers = {}
+
+    # -- counters (deterministic) ---------------------------------------
+
+    def count(self, name, n=1):
+        """Add ``n`` to the ``name`` counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- timers (wall clock; host-side facts only) ----------------------
+
+    def add_time(self, name, seconds):
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timed(self, name):
+        """Accumulate the wall-clock duration of a ``with`` block."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self):
+        """``{"counters": {...}, "timers": {...}}`` with sorted keys.
+
+        Counter values are exact; timer values are rounded to the
+        microsecond (they are indicative, not reproducible).
+        """
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "timers": {
+                k: round(self.timers[k], 6) for k in sorted(self.timers)
+            },
+        }
+
+    def __repr__(self):
+        return "Profiler(%d counters, %d timers)" % (
+            len(self.counters), len(self.timers)
+        )

@@ -1,0 +1,54 @@
+"""Reading serialized JSONL traces back into event objects."""
+
+import json
+
+from repro.obs.events import SCHEMA_VERSION, TraceEvent
+
+
+class TraceError(ValueError):
+    """The file is not a readable trace of a supported schema version."""
+
+
+def iter_trace(path):
+    """Yield the header dict, then each :class:`TraceEvent`, from ``path``.
+
+    Raises :class:`TraceError` for files without a valid header or with a
+    schema version this reader does not understand.
+    """
+    with open(path, "r", encoding="utf-8") as stream:
+        first = stream.readline()
+        if not first.strip():
+            raise TraceError("%s: empty file, expected a trace header" % path)
+        try:
+            header = json.loads(first)
+        except ValueError as err:
+            raise TraceError("%s: unreadable header line: %s" % (path, err))
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise TraceError(
+                "%s: first line is not a trace header "
+                "(expected {\"type\": \"header\", ...})" % path
+            )
+        schema = header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise TraceError(
+                "%s: trace schema %r, this reader understands %r"
+                % (path, schema, SCHEMA_VERSION)
+            )
+        yield header
+        for lineno, line in enumerate(stream, start=2):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+                yield TraceEvent.from_doc(doc)
+            except (ValueError, KeyError) as err:
+                raise TraceError(
+                    "%s:%d: unreadable trace event: %s" % (path, lineno, err)
+                )
+
+
+def read_trace(path):
+    """``(header, [TraceEvent, ...])`` for the trace at ``path``."""
+    stream = iter_trace(path)
+    header = next(stream)
+    return header, list(stream)

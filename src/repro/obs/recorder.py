@@ -1,0 +1,234 @@
+"""Event recording for running simulations.
+
+A :class:`TraceRecorder` hooks into a built scenario (or a hand-wired
+network) and records a structured event stream: transmissions, data
+deliveries and drops, routing-table changes (with the ``(sn, fd, d)``
+triplets LDR's NDC/FDC/SDC conditions gate on), fault-plan transitions,
+and invariant-monitor violations.
+
+    scenario = build_scenario(config.replaced(trace=True))
+    scenario.run()
+    for event in scenario.trace.select(kind="route", node=3):
+        print(event)
+    print(scenario.trace.summary())
+
+Retention is bounded by ``max_events`` under one of two documented
+policies — ``"oldest"`` keeps the first ``max_events`` events (the head
+of the run), ``"newest"`` keeps the last ``max_events`` (a ring buffer)
+— and an attached :class:`~repro.obs.writer.JsonlTraceWriter` receives
+**every** event regardless of the in-memory cap (spill-to-disk), so a
+bounded recorder can still produce a complete on-disk trace.
+"""
+
+from collections import Counter, deque
+
+from repro.obs.events import TraceEvent
+
+#: Recognized retention policies for the in-memory event buffer.
+POLICIES = ("oldest", "newest")
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from a running simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator; events are stamped with ``sim.now``.
+    max_events:
+        In-memory retention cap (None = unbounded).
+    policy:
+        ``"oldest"`` (default) keeps the first ``max_events`` events and
+        ignores later ones; ``"newest"`` keeps the most recent
+        ``max_events`` in a ring.  Either way :attr:`truncated` becomes
+        True the moment any event falls outside the buffer.
+    writer:
+        Optional object with an ``emit(event)`` method (e.g. a
+        :class:`~repro.obs.writer.JsonlTraceWriter`) that receives every
+        event *before* retention applies.
+    """
+
+    def __init__(self, sim, max_events=100_000, policy="oldest", writer=None):
+        if policy not in POLICIES:
+            raise ValueError(
+                "unknown retention policy %r (choose from %s)"
+                % (policy, list(POLICIES))
+            )
+        self.sim = sim
+        self.max_events = max_events
+        self.policy = policy
+        self.writer = writer
+        if policy == "newest" and max_events is not None:
+            self.events = deque(maxlen=max_events)
+        else:
+            self.events = []
+        self.truncated = False
+        self.recorded = 0  # total events seen, dropped ones included
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, scenario):
+        """Attach to a Scenario (or any object with channel/nodes/protocols).
+
+        Hooks chain rather than replace: an already-installed loop checker
+        or invariant monitor keeps receiving table-change notifications.
+        When the scenario carries a fault injector and/or monitor, their
+        transitions and violations are traced too, and protocol instances
+        created by reboots are re-instrumented.
+        """
+        scenario.channel.observers.append(self._on_transmit)
+        for node in scenario.nodes.values():
+            self._wrap_deliver(node)
+        for protocol in scenario.protocols.values():
+            self._instrument_protocol(protocol)
+        injector = getattr(scenario, "injector", None)
+        if injector is not None:
+            injector.fault_hook = self._on_fault
+            injector.reboot_hook = self._on_protocol_replaced
+        monitor = getattr(scenario, "monitor", None)
+        if monitor is not None:
+            monitor.violation_hook = self._on_violation
+        return self
+
+    def _instrument_protocol(self, protocol):
+        self._chain_table_hook(protocol)
+        self._wrap_drop(protocol)
+
+    def _on_protocol_replaced(self, node_id, protocol):
+        """A reboot installed a fresh protocol instance: re-instrument it.
+
+        Called after the monitor re-claimed the table-change hook, so the
+        chain order (recorder -> monitor) matches the initial install.
+        """
+        self._instrument_protocol(protocol)
+
+    def _on_transmit(self, sender_id, frame, receiver_ids):
+        packet = frame.packet
+        self.record(
+            "tx", sender_id,
+            packet=packet.kind,
+            dst="bcast" if frame.is_broadcast else frame.link_dst,
+            receivers=len(receiver_ids),
+        )
+
+    def _wrap_deliver(self, node):
+        original = node.deliver
+
+        def traced(packet):
+            self.record(
+                "deliver", node.node_id,
+                src=packet.src, dst=packet.dst,
+                flow=packet.flow_id, seq=packet.seq, hops=packet.hops,
+            )
+            original(packet)
+
+        node.deliver = traced
+
+    def _wrap_drop(self, protocol):
+        original = protocol.drop_data
+
+        def traced(packet, reason):
+            self.record(
+                "drop", protocol.node_id,
+                packet=packet.kind, reason=reason,
+                src=getattr(packet, "src", None),
+                dst=getattr(packet, "dst", None),
+            )
+            original(packet, reason)
+
+        protocol.drop_data = traced
+
+    def _chain_table_hook(self, protocol):
+        previous = protocol.table_change_hook
+
+        def traced(proto, dst):
+            self.record(
+                "route", proto.node_id,
+                dst=dst,
+                successor=proto.successor(dst),
+                metric=proto.route_metric(dst),
+            )
+            if previous is not None:
+                previous(proto, dst)
+
+        protocol.table_change_hook = traced
+
+    def _on_fault(self, what):
+        self.record("fault", None, what=what)
+
+    def _on_violation(self, kind, detail):
+        self.record("violation", None, violation=kind, detail=detail)
+
+    # ------------------------------------------------------------------
+    # recording & querying
+    # ------------------------------------------------------------------
+    def record(self, kind, node, **data):
+        """Record one event at the current simulation time."""
+        event = TraceEvent(self.sim.now, kind, node, data)
+        self.recorded += 1
+        if self.writer is not None:
+            self.writer.emit(event)
+        if self.max_events is not None and self.policy == "oldest":
+            if len(self.events) >= self.max_events:
+                self.truncated = True
+                return event
+        elif isinstance(self.events, deque) and self.events.maxlen is not None:
+            if len(self.events) == self.events.maxlen:
+                self.truncated = True
+        self.events.append(event)
+        return event
+
+    def select(self, kind=None, node=None, after=None, before=None, dst=None):
+        """Filtered view of the retained event stream.
+
+        Filters compose (logical AND).  ``dst`` matches the ``dst`` field
+        of route/tx/deliver/drop events.
+        """
+        out = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if after is not None and event.time < after:
+                continue
+            if before is not None and event.time > before:
+                continue
+            if dst is not None and event.data.get("dst") != dst:
+                continue
+            out.append(event)
+        return out
+
+    def summary(self):
+        """Event counts by kind (and drop reasons)."""
+        kinds = Counter(e.kind for e in self.events)
+        reasons = Counter(
+            e.data["reason"] for e in self.events
+            if e.kind == "drop" and "reason" in e.data
+        )
+        lines = ["trace: %d events%s" % (
+            len(self.events),
+            " (truncated, %d recorded)" % self.recorded
+            if self.truncated else "",
+        )]
+        for kind, count in sorted(kinds.items()):
+            lines.append("  {:<9} {}".format(kind, count))
+        if reasons:
+            lines.append("  drop reasons: " + ", ".join(
+                "{}={}".format(r, c) for r, c in sorted(reasons.items())))
+        return "\n".join(lines)
+
+    def to_json(self, **filters):
+        """The (filtered) event stream as a JSON string."""
+        import json
+
+        return json.dumps([e.to_doc() for e in self.select(**filters)])
+
+    def format(self, limit=50, **filters):
+        """Human-readable rendering of (filtered) events."""
+        selected = self.select(**filters)
+        lines = [repr(e) for e in selected[:limit]]
+        if len(selected) > limit:
+            lines.append("... %d more" % (len(selected) - limit))
+        return "\n".join(lines)

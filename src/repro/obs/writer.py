@@ -1,0 +1,99 @@
+"""Streaming JSONL trace output.
+
+File format (JSON Lines): one header object, then one object per event,
+all in canonical form (sorted keys, compact separators).  The header
+carries the trace schema version, the seed, and optionally the full
+serialized :class:`~repro.experiments.scenario.ScenarioConfig` — enough
+to re-run the exact trial that produced the trace.  Nothing in the file
+depends on wall clocks, process ids, or filesystem paths, so the same
+``(config, seed, fault_plan)`` always produces byte-identical bytes —
+however the trial was executed (in-process, or on any worker of a
+``--jobs N`` pool).
+"""
+
+import json
+import os
+import tempfile
+
+import repro
+from repro.obs.events import SCHEMA_VERSION
+
+
+def trace_header(config=None, seed=None, **extra):
+    """The header document for a new trace file."""
+    header = {"type": "header", "schema": SCHEMA_VERSION,
+              "version": repro.__version__}
+    if config is not None:
+        header["config"] = config.to_dict()
+        header.setdefault("seed", config.seed)
+    if seed is not None:
+        header["seed"] = seed
+    header.update(extra)
+    return header
+
+
+def _dumps(doc):
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlTraceWriter:
+    """Writes a canonical JSONL trace to an open text stream.
+
+    Give one to :class:`~repro.obs.recorder.TraceRecorder` to stream
+    events to disk as they happen (spill-to-disk: the on-disk trace is
+    complete even when the recorder's in-memory buffer is capped).
+    """
+
+    def __init__(self, stream, header=None):
+        self.stream = stream
+        self.events_written = 0
+        self._header_written = False
+        self._header = header if header is not None else trace_header()
+
+    def write_header(self):
+        if not self._header_written:
+            self.stream.write(_dumps(self._header) + "\n")
+            self._header_written = True
+
+    def emit(self, event):
+        """Append one :class:`~repro.obs.events.TraceEvent`."""
+        self.write_header()
+        self.stream.write(event.canonical() + "\n")
+        self.events_written += 1
+
+    def close(self):
+        """Flush the header even for empty traces; close the stream."""
+        self.write_header()
+        self.stream.close()
+
+
+def write_trace(path, events, header=None):
+    """Atomically write ``events`` (any iterable of TraceEvents) to ``path``.
+
+    A :class:`~repro.obs.recorder.TraceRecorder` may be passed directly
+    (its retained events are written).  The write is temp-file +
+    ``os.replace`` atomic, so a concurrent reader — or a campaign worker
+    racing another on a shared artifact directory — never observes a torn
+    trace.  Returns the number of events written.
+    """
+    if hasattr(events, "events"):
+        events = events.events
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            writer = JsonlTraceWriter(stream, header=header)
+            writer.write_header()
+            count = 0
+            for event in events:
+                writer.emit(event)
+                count += 1
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return count

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.obs.profile import Profiler
 from repro.sim.events import Event, EventScheduler
 from repro.sim.rng import RngStreams
 
@@ -24,6 +25,10 @@ class Simulator:
         self.scheduler = EventScheduler()
         self.rng = RngStreams(seed)
         self.seed = seed
+        # Always-on counter/timer registry (repro.obs).  Hot-path
+        # components bump deterministic counters through it; wall-clock
+        # phase timers stay inside obs/profile.py (the RL002 allowlist).
+        self.profiler: Profiler = Profiler()
 
     @property
     def now(self) -> float:
@@ -50,8 +55,16 @@ class Simulator:
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> None:
-        """Drive the event loop; see :meth:`EventScheduler.run`."""
-        self.scheduler.run(until=until, max_events=max_events)
+        """Drive the event loop; see :meth:`EventScheduler.run`.
+
+        Dispatched-event counts accumulate in ``profiler`` (the epoch
+        delta, so nested/partial runs attribute their own work).
+        """
+        before = self.scheduler.epoch
+        with self.profiler.timed("sim.run"):
+            self.scheduler.run(until=until, max_events=max_events)
+        self.profiler.count("sim.events_dispatched",
+                            self.scheduler.epoch - before)
 
     def stream(self, name: str) -> random.Random:
         """Named deterministic RNG stream (see :class:`RngStreams`)."""

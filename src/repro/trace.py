@@ -1,155 +1,12 @@
-"""Event tracing for debugging and analysis.
+"""Compatibility shim: event tracing now lives in :mod:`repro.obs`.
 
-A :class:`TraceRecorder` hooks into a built scenario (or a hand-wired
-network) and records a structured event stream: transmissions, data
-deliveries and drops, and routing-table changes.  Think of it as the
-pcap + route-log a real deployment would produce.
-
-    scenario = build_scenario(config)
-    trace = TraceRecorder(scenario.sim).install(scenario)
-    scenario.run()
-    for event in trace.select(kind="route", node=3):
-        print(event)
-    print(trace.summary())
+The original 155-line in-memory recorder grew into the observability
+package — streaming JSONL trace files, retention policies, fault/violation
+events, a profiler registry, and the ``repro trace`` CLI.  Import from
+:mod:`repro.obs` in new code; this module keeps the old import path
+working.
 """
 
-from collections import Counter
+from repro.obs import TraceEvent, TraceRecorder
 
-
-class TraceEvent:
-    """One recorded event."""
-
-    __slots__ = ("time", "kind", "node", "detail")
-
-    def __init__(self, time, kind, node, detail):
-        self.time = time
-        self.kind = kind
-        self.node = node
-        self.detail = detail
-
-    def __repr__(self):
-        return "[{:10.6f}] {:<8} node={:<4} {}".format(
-            self.time, self.kind, self.node, self.detail
-        )
-
-
-class TraceRecorder:
-    """Collects :class:`TraceEvent` objects from a running simulation.
-
-    Event kinds: ``tx`` (a frame hit the air), ``deliver`` (data reached
-    its destination application), ``drop`` (data discarded, with reason)
-    and ``route`` (a routing-table change for some destination).
-    """
-
-    def __init__(self, sim, max_events=100_000):
-        self.sim = sim
-        self.max_events = max_events
-        self.events = []
-        self.truncated = False
-
-    # ------------------------------------------------------------------
-    # wiring
-    # ------------------------------------------------------------------
-    def install(self, scenario):
-        """Attach to a Scenario (or any object with channel/nodes/protocols)."""
-        scenario.channel.observers.append(self._on_transmit)
-        for node in scenario.nodes.values():
-            self._wrap_deliver(node)
-        for protocol in scenario.protocols.values():
-            self._chain_table_hook(protocol)
-            self._wrap_drop(protocol)
-        return self
-
-    def _on_transmit(self, sender_id, frame, receiver_ids):
-        packet = frame.packet
-        dst = "bcast" if frame.is_broadcast else frame.link_dst
-        self.record("tx", sender_id, "{} -> {} ({} receivers)".format(
-            packet.kind, dst, len(receiver_ids)))
-
-    def _wrap_deliver(self, node):
-        original = node.deliver
-
-        def traced(packet):
-            self.record("deliver", node.node_id, repr(packet))
-            original(packet)
-
-        node.deliver = traced
-
-    def _wrap_drop(self, protocol):
-        original = protocol.drop_data
-
-        def traced(packet, reason):
-            self.record("drop", protocol.node_id,
-                        "{} reason={}".format(packet, reason))
-            original(packet, reason)
-
-        protocol.drop_data = traced
-
-    def _chain_table_hook(self, protocol):
-        previous = protocol.table_change_hook
-
-        def traced(proto, dst):
-            successor = proto.successor(dst)
-            self.record("route", proto.node_id,
-                        "dst={} successor={}".format(dst, successor))
-            if previous is not None:
-                previous(proto, dst)
-
-        protocol.table_change_hook = traced
-
-    # ------------------------------------------------------------------
-    # recording & querying
-    # ------------------------------------------------------------------
-    def record(self, kind, node, detail):
-        if len(self.events) >= self.max_events:
-            self.truncated = True
-            return
-        self.events.append(TraceEvent(self.sim.now, kind, node, detail))
-
-    def select(self, kind=None, node=None, after=None, before=None):
-        """Filtered view of the event stream."""
-        out = []
-        for event in self.events:
-            if kind is not None and event.kind != kind:
-                continue
-            if node is not None and event.node != node:
-                continue
-            if after is not None and event.time < after:
-                continue
-            if before is not None and event.time > before:
-                continue
-            out.append(event)
-        return out
-
-    def summary(self):
-        """Event counts by kind (and drop reasons)."""
-        kinds = Counter(e.kind for e in self.events)
-        reasons = Counter(
-            e.detail.split("reason=")[1] for e in self.events
-            if e.kind == "drop" and "reason=" in e.detail
-        )
-        lines = ["trace: {} events{}".format(
-            len(self.events), " (truncated)" if self.truncated else "")]
-        for kind, count in sorted(kinds.items()):
-            lines.append("  {:<8} {}".format(kind, count))
-        if reasons:
-            lines.append("  drop reasons: " + ", ".join(
-                "{}={}".format(r, c) for r, c in sorted(reasons.items())))
-        return "\n".join(lines)
-
-    def to_json(self, **filters):
-        """The (filtered) event stream as a JSON string."""
-        import json
-
-        return json.dumps([
-            {"t": e.time, "kind": e.kind, "node": e.node, "detail": e.detail}
-            for e in self.select(**filters)
-        ])
-
-    def format(self, limit=50, **filters):
-        """Human-readable rendering of (filtered) events."""
-        selected = self.select(**filters)
-        lines = [repr(e) for e in selected[:limit]]
-        if len(selected) > limit:
-            lines.append("... {} more".format(len(selected) - limit))
-        return "\n".join(lines)
+__all__ = ["TraceEvent", "TraceRecorder"]

@@ -1,6 +1,17 @@
 """Constant-bit-rate flows over the routing layer."""
 
 
+def reset_flow_ids():
+    """Restart flow-id assignment from 0.
+
+    Flow ids only need to be unique within one run, but they surface in
+    trace events, so a scenario resets them at construction — otherwise a
+    trial's trace bytes would depend on how many flows earlier trials in
+    the same process had created.
+    """
+    CbrFlow._next_flow_id = 0
+
+
 class CbrFlow:
     """One CBR conversation from ``src`` to ``dst``.
 

@@ -1,0 +1,115 @@
+"""The trace determinism contract: same trial, same bytes.
+
+A trace is a pure function of ``(config, seed, fault_plan)``.  These
+tests pin that down where it historically breaks: process-global
+counters (packet uids, flow ids) leaking across trials run back-to-back
+in one process, and serial-vs-parallel campaign execution.
+"""
+
+import pathlib
+
+from repro.exec import CampaignEngine, ResultCache
+from repro.experiments import ScenarioConfig, build_scenario
+from repro.faults import FaultPlan, NodeCrash
+from repro.obs import trace_header, write_trace
+
+
+def _config(seed=1, **overrides):
+    base = dict(protocol="ldr", num_nodes=10, width=800.0, height=300.0,
+                num_flows=2, duration=6.0, pause_time=0.0, seed=seed,
+                trace=True)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _trace_bytes(config, path):
+    scenario = build_scenario(config)
+    scenario.run()
+    write_trace(path, scenario.trace, header=trace_header(config=config))
+    return pathlib.Path(path).read_bytes()
+
+
+def test_same_trial_same_bytes(tmp_path):
+    a = _trace_bytes(_config(), tmp_path / "a.jsonl")
+    b = _trace_bytes(_config(), tmp_path / "b.jsonl")
+    assert a == b
+
+
+def test_prior_trials_do_not_bleed_into_the_trace(tmp_path):
+    """Packet uids / flow ids must reset per scenario, not per process."""
+    baseline = _trace_bytes(_config(seed=2), tmp_path / "base.jsonl")
+    # run unrelated trials first, then the same trial again
+    _trace_bytes(_config(seed=1), tmp_path / "noise1.jsonl")
+    _trace_bytes(_config(seed=3, num_flows=4), tmp_path / "noise2.jsonl")
+    again = _trace_bytes(_config(seed=2), tmp_path / "again.jsonl")
+    assert baseline == again
+
+
+def test_campaign_traces_identical_serial_vs_parallel(tmp_path):
+    plan = FaultPlan(events=[NodeCrash(3, 2.0)])
+    configs = [
+        _config(seed=seed, trace=False, fault_plan=plan,
+                invariant_check=True)
+        for seed in (1, 2)
+    ]
+    serial = CampaignEngine(jobs=1, cache=ResultCache(tmp_path / "c1"),
+                            trace_dir=tmp_path / "t1")
+    pooled = CampaignEngine(jobs=2, cache=ResultCache(tmp_path / "c2"),
+                            trace_dir=tmp_path / "t2")
+    rows_serial = serial.run(configs).rows()
+    rows_pooled = pooled.run(configs).rows()
+    assert rows_serial == rows_pooled
+
+    artifacts = sorted((tmp_path / "t1").glob("*.trace.jsonl"))
+    assert len(artifacts) == 2
+    for artifact in artifacts:
+        twin = tmp_path / "t2" / artifact.name
+        assert artifact.read_bytes() == twin.read_bytes()
+
+
+def test_missing_artifact_forces_reexecution(tmp_path):
+    configs = [_config(seed=1, trace=False)]
+
+    def engine():
+        return CampaignEngine(jobs=1, cache=ResultCache(tmp_path / "cache"),
+                              trace_dir=tmp_path / "traces")
+
+    first = engine().run(configs)
+    assert first.executed == 1
+    (artifact,) = (tmp_path / "traces").glob("*.trace.jsonl")
+    original = artifact.read_bytes()
+
+    # artifact present: pure cache hit
+    second = engine().run(configs)
+    assert second.cached == 1 and second.executed == 0
+
+    # artifact gone: the row alone is not enough, the trial re-runs
+    artifact.unlink()
+    third = engine().run(configs)
+    assert third.executed == 1
+    assert artifact.read_bytes() == original
+
+
+def test_untraced_engine_ignores_artifacts(tmp_path):
+    configs = [_config(seed=1, trace=False)]
+    cache_dir = tmp_path / "cache"
+    CampaignEngine(jobs=1, cache=ResultCache(cache_dir)).run(configs)
+    result = CampaignEngine(jobs=1, cache=ResultCache(cache_dir)).run(configs)
+    assert result.cached == 1
+    assert not list(tmp_path.glob("**/*.trace.jsonl"))
+
+
+def test_trace_opt_in_changes_cache_identity(tmp_path):
+    """trace is part of the serialized config, hence of the trial key."""
+    from repro.exec.cache import trial_key
+
+    assert (trial_key(_config(trace=True))
+            != trial_key(_config(trace=False)))
+
+
+def test_tracing_does_not_change_metric_rows():
+    from repro.experiments import run_scenario
+
+    traced = run_scenario(_config(trace=True)).as_dict()
+    untraced = run_scenario(_config(trace=False)).as_dict()
+    assert traced == untraced

@@ -1,0 +1,47 @@
+"""Tests for the TraceEvent model and its serialization helpers."""
+
+from repro.obs import TraceEvent, jsonable
+from repro.routing.seqnum import LabeledSeq
+
+
+def test_jsonable_passes_scalars_through():
+    for value in (None, True, 3, 2.5, "x"):
+        assert jsonable(value) == value
+
+
+def test_jsonable_flattens_labeled_seq():
+    assert jsonable(LabeledSeq(1.5, 3)) == [1.5, 3]
+    assert jsonable((LabeledSeq(0.0, 1), 2, 4)) == [[0.0, 1], 2, 4]
+
+
+def test_jsonable_falls_back_to_repr():
+    class Odd:
+        def __repr__(self):
+            return "<odd>"
+
+    assert jsonable(Odd()) == "<odd>"
+    assert jsonable([Odd(), 1]) == ["<odd>", 1]
+
+
+def test_detail_and_repr_render_sorted_fields():
+    event = TraceEvent(1.25, "drop", 3, {"reason": "ttl", "dst": 7})
+    assert event.detail == "dst=7 reason=ttl"
+    text = repr(event)
+    assert "drop" in text and "node=3" in text and "reason=ttl" in text
+
+
+def test_round_trip_and_equality():
+    event = TraceEvent(2.0, "route", 1,
+                       {"dst": 4, "metric": (LabeledSeq(0.0, 2), 1, 3)})
+    clone = TraceEvent.from_doc(event.to_doc())
+    assert clone == event
+    assert hash(clone) == hash(event)
+    assert clone != TraceEvent(2.0, "route", 1, {"dst": 5})
+    assert event.__eq__("not an event") is NotImplemented
+
+
+def test_canonical_is_key_sorted_and_compact():
+    event = TraceEvent(1.0, "tx", 2, {"z": 1, "a": 2})
+    line = event.canonical()
+    assert line.index('"a"') < line.index('"z"')
+    assert ": " not in line and ", " not in line

@@ -1,0 +1,62 @@
+"""Tests for the counter/timer profiling registry."""
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.obs import Profiler
+
+
+def test_counters_accumulate():
+    prof = Profiler()
+    prof.count("a")
+    prof.count("a", 4)
+    prof.count("b", 2)
+    assert prof.counters == {"a": 5, "b": 2}
+
+
+def test_timed_accumulates_wall_time():
+    prof = Profiler()
+    with prof.timed("phase"):
+        pass
+    with prof.timed("phase"):
+        pass
+    assert prof.timers["phase"] >= 0.0
+
+
+def test_snapshot_sorts_keys_and_rounds_timers():
+    prof = Profiler()
+    prof.count("z")
+    prof.count("a")
+    prof.add_time("t", 0.123456789)
+    snap = prof.snapshot()
+    assert list(snap["counters"]) == ["a", "z"]
+    assert snap["timers"]["t"] == 0.123457
+
+
+def _tiny_config(**overrides):
+    base = dict(protocol="ldr", num_nodes=10, width=800.0, height=300.0,
+                num_flows=2, duration=6.0, pause_time=0.0, seed=5)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def test_run_report_exposes_profile():
+    report = run_scenario(_tiny_config())
+    snap = report.profile_dict()
+    assert snap["counters"]["sim.events_dispatched"] > 0
+    assert snap["counters"]["channel.transmits"] > 0
+    assert snap["counters"]["mac.sends"] > 0
+    assert snap["timers"]["sim.run"] >= 0.0
+
+
+def test_profile_counters_are_deterministic():
+    """Counters are a pure function of the trial (timers are not)."""
+    first = run_scenario(_tiny_config()).profile_dict()
+    second = run_scenario(_tiny_config()).profile_dict()
+    assert first["counters"] == second["counters"]
+
+
+def test_profile_stays_out_of_metric_rows():
+    """Rows are cached/compared byte-for-byte; wall timers must not leak."""
+    row = run_scenario(_tiny_config()).as_dict()
+    assert "timers" not in row
+    assert "counters" not in row
+    assert "profile" not in row
