@@ -21,6 +21,10 @@ bench         kernel microbenchmarks (spatial index fast path) with a
               speedup-regression gate against the committed baseline
 trace         inspect a JSONL trace artifact: summarize, filter, replay
               a destination's route timeline, or diff two traces
+verify        adversarial verification: run the published AODV loop
+              counterexamples against any protocol, replay invariant
+              checks offline from trace artifacts, or run the full
+              counterexample x protocol verdict grid
 
 ``compare``, ``table1`` and ``figure`` run their trials through the
 campaign engine: ``--jobs N`` fans trials over N worker processes and
@@ -88,6 +92,7 @@ def _campaign_from(args):
         trials=args.trials, jobs=args.jobs, use_cache=not args.no_cache,
         cache_dir=args.cache_dir, progress=_progress(args),
         trace_dir=getattr(args, "trace", None),
+        trace_gzip=getattr(args, "gzip", False),
     )
 
 
@@ -128,8 +133,12 @@ def cmd_run(args):
     if args.trace:
         from repro.obs import trace_header, write_trace
 
-        count = write_trace(args.trace, scenario.trace,
-                            header=trace_header(config=config))
+        count = write_trace(
+            args.trace, scenario.trace,
+            header=trace_header(
+                config=config,
+                destinations=sorted(scenario.traffic.destinations_used()),
+            ))
         print("trace: %d event(s) -> %s" % (count, args.trace),
               file=sys.stderr)
     if args.profile:
@@ -262,6 +271,12 @@ def cmd_trace(args):
     return trace_cli.run(args, sys.stdout)
 
 
+def cmd_verify(args):
+    from repro.verify import cli as verify_cli
+
+    return verify_cli.run(args, sys.stdout)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -276,7 +291,8 @@ def main(argv=None):
                         "exit 1 on any violation")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record a structured event trace (repro.obs) and "
-                        "write it to this JSONL file")
+                        "write it to this JSONL file (gzip-compressed "
+                        "when the name ends in .gz)")
     p.add_argument("--profile", action="store_true",
                    help="print event-dispatch counters and per-phase "
                         "timers to stderr after the run")
@@ -314,6 +330,9 @@ def main(argv=None):
                    metavar="DIR",
                    help="keep a per-trial JSONL trace artifact under DIR "
                         "(default ./traces); inspect with 'repro trace'")
+    p.add_argument("--gzip", action="store_true",
+                   help="gzip-compress trace artifacts (*.trace.jsonl.gz); "
+                        "readers accept both forms transparently")
     _add_exec_args(p)
     p.set_defaults(func=cmd_campaign)
 
@@ -361,6 +380,15 @@ def main(argv=None):
     )
     register_trace_parser(p)
     p.set_defaults(func=cmd_trace)
+
+    from repro.verify.cli import register_parser as register_verify_parser
+
+    p = sub.add_parser(
+        "verify",
+        help="counterexample suite, offline replay, and verdict grid",
+    )
+    register_verify_parser(p)
+    p.set_defaults(func=cmd_verify)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -32,7 +32,12 @@ import repro
 #:    rows are unchanged, but the serialized config payload changed shape
 #:    again, and traced trials may now carry a sibling ``*.trace.jsonl``
 #:    artifact next to their row.
-CACHE_SCHEMA = 4
+#: 5: configs gained pinned placements/flows (repro.verify counterexample
+#:    scenarios); the serialized payload changed shape, and trace
+#:    artifacts moved to schema 2 (route events carry the destination's
+#:    own label, fault events carry structured detail, headers carry the
+#:    truncation flag) with optional ``.trace.jsonl.gz`` compression.
+CACHE_SCHEMA = 5
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -79,9 +84,10 @@ class ResultCache:
     def _path(self, key):
         return self.root / key[:2] / (key + ".json")
 
-    def trace_path(self, key):
+    def trace_path(self, key, gzipped=False):
         """Where a traced trial's JSONL artifact lives, next to its row."""
-        return self.root / key[:2] / (key + ".trace.jsonl")
+        suffix = ".trace.jsonl.gz" if gzipped else ".trace.jsonl"
+        return self.root / key[:2] / (key + suffix)
 
     def get(self, key):
         """The cached row for ``key``, or None (corrupt entries = miss)."""
@@ -144,12 +150,13 @@ class ResultCache:
                 except OSError:
                     continue
                 entries += 1
-            for path in self.root.glob("??/*.trace.jsonl"):
-                try:
-                    total_bytes += path.stat().st_size
-                except OSError:
-                    continue
-                traces += 1
+            for pattern in ("??/*.trace.jsonl", "??/*.trace.jsonl.gz"):
+                for path in self.root.glob(pattern):
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue
+                    traces += 1
         return {"dir": str(self.root), "entries": entries, "traces": traces,
                 "bytes": total_bytes}
 
@@ -158,12 +165,13 @@ class ResultCache:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in self.root.glob("??/*.trace.jsonl"):
-            try:
-                path.unlink()
-            except OSError as exc:
-                if exc.errno != errno.ENOENT:
-                    raise
+        for pattern in ("??/*.trace.jsonl", "??/*.trace.jsonl.gz"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError as exc:
+                    if exc.errno != errno.ENOENT:
+                        raise
         for path in self.root.glob("??/*.json"):
             try:
                 path.unlink()

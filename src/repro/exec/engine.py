@@ -127,10 +127,17 @@ class CampaignEngine:
         re-executed so the artifact always exists afterwards; its row is
         byte-identical either way.  Trials whose configs cannot be
         serialized have no stable key and are never traced.
+    trace_gzip:
+        Store trace artifacts gzip-compressed (``<key>.trace.jsonl.gz``).
+        Compression is deterministic, and readers sniff the format, so
+        this only changes artifact size — never verdicts.  Switching it
+        re-executes cached trials whose artifact exists under the other
+        name.
     """
 
     def __init__(self, jobs=1, cache=None, retries=1, timeout=None,
-                 progress=None, mp_context=None, trace_dir=None):
+                 progress=None, mp_context=None, trace_dir=None,
+                 trace_gzip=False):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.retries = max(0, int(retries))
@@ -140,6 +147,7 @@ class CampaignEngine:
         self.trace_dir = (
             pathlib.Path(trace_dir) if trace_dir is not None else None
         )
+        self.trace_gzip = bool(trace_gzip)
         self._start = None
         #: Out-of-band warnings emitted during the last :meth:`run`
         #: (currently: worker-pool breakdowns).  Also forwarded to the
@@ -196,7 +204,8 @@ class CampaignEngine:
         """Where this trial's trace artifact goes, or None (untraced)."""
         if self.trace_dir is None or trial.key is None:
             return None
-        return self.trace_dir / (trial.key + ".trace.jsonl")
+        suffix = ".trace.jsonl.gz" if self.trace_gzip else ".trace.jsonl"
+        return self.trace_dir / (trial.key + suffix)
 
     def _payload(self, trial):
         payload = {"config": trial.config.to_dict(), "timeout": self.timeout}

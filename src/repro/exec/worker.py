@@ -92,8 +92,14 @@ def run_trial_payload(payload):
 
         scenario = build_scenario(config.replaced(trace=True))
         row = scenario.run().as_dict()
+        # destinations = the traffic sinks the end-of-run audit sweep
+        # covered; offline replay (repro.verify) sweeps exactly these.
         write_trace(trace_path, scenario.trace,
-                    header=trace_header(config=scenario.config))
+                    header=trace_header(
+                        config=scenario.config,
+                        destinations=sorted(
+                            scenario.traffic.destinations_used()),
+                    ))
         return {"row": row, "trace": trace_path}
 
     outcome = _run_guarded(trial, payload.get("timeout"))

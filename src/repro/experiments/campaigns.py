@@ -82,7 +82,8 @@ class Campaign:
     def __init__(self, paper_scale=False, duration=None, trials=None,
                  num_nodes_small=None, num_nodes_large=None,
                  jobs=1, use_cache=False, cache_dir=None,
-                 retries=1, timeout=None, progress=None, trace_dir=None):
+                 retries=1, timeout=None, progress=None, trace_dir=None,
+                 trace_gzip=False):
         self.paper_scale = paper_scale
         if paper_scale:
             self.duration = duration or 900.0
@@ -101,8 +102,9 @@ class Campaign:
         self.timeout = timeout
         self.progress = progress
         # Per-trial JSONL trace artifacts (repro.obs), or None for no
-        # tracing; see CampaignEngine.trace_dir.
+        # tracing; see CampaignEngine.trace_dir / trace_gzip.
         self.trace_dir = trace_dir
+        self.trace_gzip = trace_gzip
 
     def pauses(self):
         return pause_sweep(self.duration, self.paper_scale)
@@ -118,7 +120,7 @@ class Campaign:
         return CampaignEngine(
             jobs=self.jobs, cache=cache, retries=self.retries,
             timeout=self.timeout, progress=progress or self.progress,
-            trace_dir=self.trace_dir,
+            trace_dir=self.trace_dir, trace_gzip=self.trace_gzip,
         )
 
 

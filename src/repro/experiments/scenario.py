@@ -153,6 +153,8 @@ class ScenarioConfig:
         fault_plan=None,
         invariant_check=False,
         trace=False,
+        placements=None,
+        flows=None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(
@@ -197,6 +199,58 @@ class ScenarioConfig:
         # identical with tracing on or off; campaign workers use it to
         # emit per-trial trace artifacts.
         self.trace = bool(trace)
+        # Pinned topologies and schedules (repro.verify counterexamples):
+        # ``placements`` fixes every node's position (no mobility draws at
+        # all) and ``flows`` replaces the random CBR workload with an
+        # explicit, serializable schedule — both are part of the trial's
+        # cache identity, like the fault plan.
+        self.placements = self._check_placements(placements, num_nodes)
+        if placements is not None and mobility is not None:
+            raise ValueError(
+                "placements and a custom mobility object are mutually "
+                "exclusive; pick one way to pin positions"
+            )
+        self.flows = self._check_flows(flows, num_nodes)
+
+    @staticmethod
+    def _check_placements(placements, num_nodes):
+        if placements is None:
+            return None
+        normalized = []
+        for entry in placements:
+            x, y = entry
+            normalized.append((float(x), float(y)))
+        if len(normalized) != num_nodes:
+            raise ValueError(
+                "placements pins %d node(s) but num_nodes=%d"
+                % (len(normalized), num_nodes)
+            )
+        return normalized
+
+    @staticmethod
+    def _check_flows(flows, num_nodes):
+        if flows is None:
+            return None
+        normalized = []
+        for entry in flows:
+            src, dst, start, end = entry
+            src, dst = int(src), int(dst)
+            start, end = float(start), float(end)
+            for node in (src, dst):
+                if not 0 <= node < num_nodes:
+                    raise ValueError(
+                        "flow endpoint %d outside 0..%d"
+                        % (node, num_nodes - 1)
+                    )
+            if src == dst:
+                raise ValueError("flow %d -> %d sends to itself" % (src, dst))
+            if not 0 <= start < end:
+                raise ValueError(
+                    "flow %d -> %d has an empty window [%g, %g)"
+                    % (src, dst, start, end)
+                )
+            normalized.append((src, dst, start, end))
+        return normalized
 
     #: Fields with plain scalar values, in declaration order.  ``to_dict``
     #: serializes these verbatim; the three object-valued fields
@@ -267,6 +321,15 @@ class ScenarioConfig:
         data["fault_plan"] = (
             None if self.fault_plan is None else self.fault_plan.to_dict()
         )
+        # Pinned topology/workload (counterexample scenarios) are identity
+        # too: the same seed over a different schedule is a different trial.
+        data["placements"] = (
+            None if self.placements is None
+            else [list(p) for p in self.placements]
+        )
+        data["flows"] = (
+            None if self.flows is None else [list(f) for f in self.flows]
+        )
         return data
 
     @classmethod
@@ -280,6 +343,8 @@ class ScenarioConfig:
         fault_plan = data.pop("fault_plan", None)
         if fault_plan is not None:
             fault_plan = FaultPlan.from_dict(fault_plan)
+        placements = data.pop("placements", None)
+        flows = data.pop("flows", None)
         unknown = set(data) - set(cls.SCALAR_FIELDS)
         if unknown:
             raise ValueError(
@@ -287,7 +352,8 @@ class ScenarioConfig:
             )
         return cls(
             protocol_config=protocol_config, mac_config=mac_config,
-            fault_plan=fault_plan, **data
+            fault_plan=fault_plan, placements=placements, flows=flows,
+            **data
         )
 
 
@@ -304,7 +370,14 @@ class Scenario:
         self.sim = Simulator(seed=config.seed)
         self.metrics = MetricsCollector(self.sim)
 
-        if config.mobility is not None:
+        if config.placements is not None:
+            # Pinned topology: positions come straight from the config, no
+            # mobility-stream draws at all (counterexample scenarios need
+            # link geometry to be exact, not sampled).
+            self.mobility = StaticPlacement(
+                dict(enumerate(config.placements))
+            )
+        elif config.mobility is not None:
             self.mobility = config.mobility
         elif config.pause_time >= config.duration:
             # Fully paused = static placement drawn from the same stream.
@@ -392,6 +465,7 @@ class Scenario:
             packet_size=config.packet_size,
             mean_flow_length=config.mean_flow_length,
             duration=config.duration, warmup=config.warmup,
+            flow_spec=config.flows,
         )
 
     def _active_demands(self):

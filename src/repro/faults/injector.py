@@ -46,8 +46,10 @@ class FaultInjector:
         self.rng = sim.stream("faults")
         self._active_fuzz = []
         self.applied = []  # (time, description) log of executed transitions
-        # Observability seams (repro.obs): fault_hook(description) fires
-        # for every executed transition; reboot_hook(node_id, protocol)
+        # Observability seams (repro.obs): fault_hook(description, detail)
+        # fires for every executed transition — detail is a structured
+        # dict (fault, target/pairs) so traces don't have to parse the
+        # human string; reboot_hook(node_id, protocol)
         # fires after a reboot's registries are rewired, so a trace
         # recorder can re-instrument the fresh protocol instance.
         self.fault_hook = None
@@ -76,17 +78,17 @@ class FaultInjector:
 
     # -- transitions -----------------------------------------------------
 
-    def _log(self, what):
+    def _log(self, what, **detail):
         self.applied.append((self.sim.now, what))
         if self.fault_hook is not None:
-            self.fault_hook(what)
+            self.fault_hook(what, detail)
 
     def _crash(self, node_id):
         node = self.nodes[node_id]
         if not node.alive:
             return
         node.crash()
-        self._log("crash %r" % (node_id,))
+        self._log("crash %r" % (node_id,), fault="crash", target=node_id)
         if self.monitor is not None:
             self.monitor.on_crash(node_id)
 
@@ -95,7 +97,7 @@ class FaultInjector:
         if node.alive:
             return
         node.reboot()
-        self._log("reboot %r" % (node_id,))
+        self._log("reboot %r" % (node_id,), fault="reboot", target=node_id)
         if self.protocols is not None:
             self.protocols[node_id] = node.routing
         if self.monitor is not None:
@@ -106,19 +108,21 @@ class FaultInjector:
     def _deny(self, pairs):
         for a, b in pairs:
             self.channel.deny_link(a, b)
-        self._log("deny %d link(s)" % len(pairs))
+        self._log("deny %d link(s)" % len(pairs), fault="deny",
+                  pairs=[list(pair) for pair in pairs])
 
     def _heal(self, pairs):
         for a, b in pairs:
             self.channel.allow_link(a, b)
-        self._log("heal %d link(s)" % len(pairs))
+        self._log("heal %d link(s)" % len(pairs), fault="heal",
+                  pairs=[list(pair) for pair in pairs])
         if self.monitor is not None:
             self.monitor.on_heal()
 
     def _fuzz_start(self, window):
         self._active_fuzz.append(window)
         self.channel.fuzz_fn = self._fuzz
-        self._log("fuzz window open")
+        self._log("fuzz window open", fault="fuzz_open")
 
     def _fuzz_end(self, window):
         try:
@@ -127,7 +131,7 @@ class FaultInjector:
             pass
         if not self._active_fuzz:
             self.channel.fuzz_fn = None
-        self._log("fuzz window close")
+        self._log("fuzz window close", fault="fuzz_close")
 
     def _fuzz(self, sender_id, receiver_id, frame):
         """Per-reception fuzz decision from the ``faults`` stream.

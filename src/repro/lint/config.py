@@ -30,7 +30,7 @@ from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
 #: is allowlisted for wall-clock reads, and timers stay out of traces).
 DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
     {"sim", "net", "protocols", "routing", "mobility", "traffic", "core",
-     "faults", "obs"}
+     "faults", "obs", "verify"}
 )
 
 #: Layers that may define RoutingProtocol subclasses subject to the

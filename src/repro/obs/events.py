@@ -15,7 +15,13 @@ from repro.routing.seqnum import LabeledSeq
 
 #: Trace format version, embedded in every file's header line.  Bump when
 #: event fields change meaning or shape; readers reject unknown majors.
-SCHEMA_VERSION = 1
+#: 2: route events carry ``dst_own`` (the destination's own sequence label
+#:    at change time — what offline seqnum-ownership replay audits
+#:    against), fault events carry structured detail (``fault``/``target``/
+#:    ``pairs``) beside the human string, and headers carry the recorder's
+#:    ``truncated``/``recorded`` retention outcome so replay can refuse to
+#:    certify an incomplete stream.
+SCHEMA_VERSION = 2
 
 #: Event kinds a recorder may emit, in documentation order.
 EVENT_KINDS = (

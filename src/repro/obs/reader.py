@@ -1,12 +1,46 @@
-"""Reading serialized JSONL traces back into event objects."""
+"""Reading serialized JSONL traces back into event objects.
 
+Plain ``.trace.jsonl`` and gzip-compressed ``.trace.jsonl.gz`` files are
+both accepted; compression is detected from the gzip magic bytes, not the
+file name, so renamed artifacts still read.
+"""
+
+import gzip
+import io
 import json
 
 from repro.obs.events import SCHEMA_VERSION, TraceEvent
 
+#: First two bytes of every gzip stream (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
 
 class TraceError(ValueError):
     """The file is not a readable trace of a supported schema version."""
+
+
+def _open_text_for_read(path):
+    """A text stream over ``path``, gunzipping when the magic bytes say so."""
+    raw = open(path, "rb")
+    try:
+        magic = raw.read(len(_GZIP_MAGIC))
+        raw.seek(0)
+        if magic != _GZIP_MAGIC:
+            return io.TextIOWrapper(raw, encoding="utf-8")
+        stream = io.TextIOWrapper(gzip.GzipFile(fileobj=raw), encoding="utf-8")
+    except BaseException:
+        raw.close()
+        raise
+    # GzipFile.close() leaves the passed fileobj open; chain it so the
+    # ``with`` in iter_trace releases the descriptor either way.
+    original_close = stream.close
+
+    def close_all():
+        original_close()
+        raw.close()
+
+    stream.close = close_all
+    return stream
 
 
 def iter_trace(path):
@@ -15,7 +49,7 @@ def iter_trace(path):
     Raises :class:`TraceError` for files without a valid header or with a
     schema version this reader does not understand.
     """
-    with open(path, "r", encoding="utf-8") as stream:
+    with _open_text_for_read(path) as stream:
         first = stream.readline()
         if not first.strip():
             raise TraceError("%s: empty file, expected a trace header" % path)

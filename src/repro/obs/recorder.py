@@ -64,6 +64,11 @@ class TraceRecorder:
             self.events = []
         self.truncated = False
         self.recorded = 0  # total events seen, dropped ones included
+        # Live registries captured at install time; route events sample the
+        # destination's own sequence label (``dst_own``) through these so
+        # offline replay can audit seqnum ownership without a simulator.
+        self._nodes = None
+        self._protocols = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -78,6 +83,8 @@ class TraceRecorder:
         created by reboots are re-instrumented.
         """
         scenario.channel.observers.append(self._on_transmit)
+        self._nodes = scenario.nodes
+        self._protocols = scenario.protocols
         for node in scenario.nodes.values():
             self._wrap_deliver(node)
         for protocol in scenario.protocols.values():
@@ -143,19 +150,48 @@ class TraceRecorder:
         previous = protocol.table_change_hook
 
         def traced(proto, dst):
-            self.record(
-                "route", proto.node_id,
-                dst=dst,
-                successor=proto.successor(dst),
-                metric=proto.route_metric(dst),
+            # A reboot may leave the pre-reboot instance with live timers;
+            # its table is no longer routing state (the monitor ignores it
+            # the same way), so its changes stay out of the trace — the
+            # on-disk route stream is exactly what offline replay audits.
+            stale = (
+                self._protocols is not None
+                and self._protocols.get(proto.node_id) is not proto
             )
+            if not stale:
+                self.record(
+                    "route", proto.node_id,
+                    dst=dst,
+                    successor=proto.successor(dst),
+                    metric=proto.route_metric(dst),
+                    dst_own=self._own_label(dst),
+                )
             if previous is not None:
                 previous(proto, dst)
 
         protocol.table_change_hook = traced
 
-    def _on_fault(self, what):
-        self.record("fault", None, what=what)
+    def _own_label(self, dst):
+        """The destination's own sequence label right now, or None.
+
+        None when the destination is crashed (no authoritative label
+        exists — mirroring the online monitor, which skips the ownership
+        ceiling for crashed destinations) or when the protocol keeps no
+        ``own_seq``.  Sampled through the live registries so reboots —
+        which install fresh protocol instances — are followed.
+        """
+        if self._protocols is None:
+            return None
+        if self._nodes is not None:
+            node = self._nodes.get(dst)
+            if node is not None and not getattr(node, "alive", True):
+                return None
+        return getattr(self._protocols.get(dst), "own_seq", None)
+
+    def _on_fault(self, what, detail=None):
+        data = dict(detail) if detail else {}
+        data["what"] = what
+        self.record("fault", None, **data)
 
     def _on_violation(self, kind, detail):
         self.record("violation", None, violation=kind, detail=detail)

@@ -9,14 +9,50 @@ depends on wall clocks, process ids, or filesystem paths, so the same
 ``(config, seed, fault_plan)`` always produces byte-identical bytes —
 however the trial was executed (in-process, or on any worker of a
 ``--jobs N`` pool).
+
+Paths ending in ``.gz`` are gzip-compressed transparently, and stay
+byte-identical: compression pins ``mtime=0`` and an empty stored name,
+the two fields through which gzip normally leaks wall clock and paths.
 """
 
+import gzip
+import io
 import json
 import os
 import tempfile
 
 import repro
 from repro.obs.events import SCHEMA_VERSION
+
+
+def _open_text_for_write(path):
+    """A text stream writing (possibly gzip-compressed) bytes to ``path``.
+
+    Deterministic by construction: ``mtime=0`` and ``filename=""`` keep
+    gzip's header free of wall clock and filesystem identity, so traced
+    trials stay byte-identical whether stored compressed or not.
+    """
+    if str(path).endswith(".gz"):
+        raw = open(path, "wb")
+        try:
+            zipped = gzip.GzipFile(
+                filename="", mode="wb", fileobj=raw, mtime=0,
+            )
+        except BaseException:
+            raw.close()
+            raise
+        stream = io.TextIOWrapper(zipped, encoding="utf-8", newline="\n")
+        # TextIOWrapper.close() closes the GzipFile, which does NOT close
+        # the underlying raw file; chain it so callers close one object.
+        original_close = stream.close
+
+        def close_all():
+            original_close()
+            raw.close()
+
+        stream.close = close_all
+        return stream
+    return open(path, "w", encoding="utf-8", newline="\n")
 
 
 def trace_header(config=None, seed=None, **extra):
@@ -42,6 +78,8 @@ class JsonlTraceWriter:
     Give one to :class:`~repro.obs.recorder.TraceRecorder` to stream
     events to disk as they happen (spill-to-disk: the on-disk trace is
     complete even when the recorder's in-memory buffer is capped).
+    :meth:`open` builds one over a file path, gzip-compressing when the
+    path ends in ``.gz``.
     """
 
     def __init__(self, stream, header=None):
@@ -49,6 +87,16 @@ class JsonlTraceWriter:
         self.events_written = 0
         self._header_written = False
         self._header = header if header is not None else trace_header()
+
+    @classmethod
+    def open(cls, path, header=None):
+        """A writer over ``path`` (gzip when it ends in ``.gz``).
+
+        :meth:`close` closes the underlying file.  Unlike
+        :func:`write_trace` this streams (not atomic) — use it for
+        spill-to-disk recording, not for artifacts readers may race.
+        """
+        return cls(_open_text_for_write(path), header=header)
 
     def write_header(self):
         if not self._header_written:
@@ -70,25 +118,39 @@ class JsonlTraceWriter:
 def write_trace(path, events, header=None):
     """Atomically write ``events`` (any iterable of TraceEvents) to ``path``.
 
-    A :class:`~repro.obs.recorder.TraceRecorder` may be passed directly
-    (its retained events are written).  The write is temp-file +
-    ``os.replace`` atomic, so a concurrent reader — or a campaign worker
-    racing another on a shared artifact directory — never observes a torn
-    trace.  Returns the number of events written.
+    A :class:`~repro.obs.recorder.TraceRecorder` may be passed directly —
+    its retained events are written, and its retention outcome
+    (``truncated``, ``recorded``) is folded into the header so offline
+    replay can tell a complete stream from a capped one.  Paths ending in
+    ``.gz`` are gzip-compressed (deterministically; see module doc).  The
+    write is temp-file + ``os.replace`` atomic, so a concurrent reader —
+    or a campaign worker racing another on a shared artifact directory —
+    never observes a torn trace.  Returns the number of events written.
     """
     if hasattr(events, "events"):
-        events = events.events
+        recorder = events
+        events = recorder.events
+        header = dict(header) if header is not None else trace_header()
+        header["truncated"] = bool(getattr(recorder, "truncated", False))
+        header["recorded"] = int(
+            getattr(recorder, "recorded", len(events))
+        )
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    suffix = ".tmp.gz" if str(path).endswith(".gz") else ".tmp"
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=suffix)
+    os.close(fd)
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+        stream = _open_text_for_write(tmp)
+        try:
             writer = JsonlTraceWriter(stream, header=header)
             writer.write_header()
             count = 0
             for event in events:
                 writer.emit(event)
                 count += 1
+        finally:
+            stream.close()
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -72,7 +72,7 @@ class TrafficGenerator:
 
     def __init__(self, sim, nodes, num_flows, rate=4.0, packet_size=512,
                  mean_flow_length=100.0, duration=900.0, rng=None,
-                 warmup=5.0):
+                 warmup=5.0, flow_spec=None):
         self.sim = sim
         self.nodes = nodes
         self.num_flows = num_flows
@@ -83,6 +83,20 @@ class TrafficGenerator:
         self.rng = rng if rng is not None else sim.stream("traffic")
         self.flows = []
         self.active_destinations = set()
+        if flow_spec is not None:
+            # Explicit schedule (counterexample scenarios): exactly these
+            # conversations, no replacements, and — crucially — zero draws
+            # from the traffic stream, so a pinned schedule never perturbs
+            # downstream randomness.
+            for src, dst, start, end in flow_spec:
+                flow = CbrFlow(
+                    self.sim, self.nodes, src, dst, rate=self.rate,
+                    packet_size=self.packet_size, start=start,
+                    end=min(end, self.duration),
+                )
+                self.flows.append(flow)
+                self.active_destinations.add(dst)
+            return
         for i in range(num_flows):
             start = self.rng.uniform(0.0, warmup)
             self._spawn(start)

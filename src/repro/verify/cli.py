@@ -1,0 +1,167 @@
+"""The ``repro verify`` command: counterexamples, replay, and the grid.
+
+Subcommands
+-----------
+list     the shipped counterexample suite, with sources and expected
+         verdicts per protocol
+run      execute one counterexample against one protocol; exits 1 when
+         the verdict deviates from the pinned expectation
+replay   offline conformance replay of trace artifacts: re-derive the
+         loop-freedom / ordering / seqnum-ownership verdict from the
+         route-event stream alone and cross-check it against the online
+         monitor's recorded violations; exits 1 on any disagreement
+grid     the counterexample x protocol matrix through the campaign
+         engine (traced), with online/offline cross-checks and the
+         first LDR-vs-AODV route divergence per counterexample; exits 1
+         on any regression
+"""
+
+from repro.obs.reader import TraceError
+from repro.verify.counterexamples import (
+    CounterexampleError,
+    load_suite,
+    run_counterexample,
+)
+from repro.verify.grid import GRID_PROTOCOLS, format_grid, run_grid
+from repro.verify.replay import replay_trace
+
+
+def register_parser(parser):
+    """Attach the verify subcommands to an argparse parser."""
+    sub = parser.add_subparsers(dest="verify_command", required=True)
+
+    p = sub.add_parser("list", help="the counterexample suite")
+    p.add_argument("--dir", default=None,
+                   help="counterexample directory (default: the shipped "
+                        "examples/counterexamples)")
+
+    p = sub.add_parser("run", help="execute one counterexample")
+    p.add_argument("name", help="counterexample name (see 'verify list')")
+    p.add_argument("--protocol", default="aodv",
+                   help="registry protocol to run it against "
+                        "(default aodv)")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="also write the run's trace artifact "
+                        "(gzip when the name ends in .gz)")
+    p.add_argument("--dir", default=None,
+                   help="counterexample directory")
+
+    p = sub.add_parser("replay", help="offline conformance replay")
+    p.add_argument("traces", nargs="+", metavar="TRACE",
+                   help="trace artifacts (.trace.jsonl or .trace.jsonl.gz)")
+
+    p = sub.add_parser("grid", help="counterexample x protocol matrix")
+    p.add_argument("--protocols", default=",".join(GRID_PROTOCOLS),
+                   help="comma-separated protocol columns (default %s)"
+                        % ",".join(GRID_PROTOCOLS))
+    p.add_argument("--trace-dir", default="traces",
+                   help="trace artifact directory (default ./traces)")
+    p.add_argument("--gzip", action="store_true",
+                   help="gzip-compress the trace artifacts")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument("--dir", default=None,
+                   help="counterexample directory")
+    return parser
+
+
+def run(args, out):
+    """Dispatch one parsed verify subcommand; returns an exit code."""
+    try:
+        return _DISPATCH[args.verify_command](args, out)
+    except CounterexampleError as err:
+        print("error: %s" % err, file=out)
+        return 2
+    except TraceError as err:
+        print("error: %s" % err, file=out)
+        return 2
+    except OSError as err:
+        print("error: %s" % err, file=out)
+        return 2
+
+
+def cmd_list(args, out):
+    suite = load_suite(args.dir)
+    for name in sorted(suite):
+        print(suite[name].describe(), file=out)
+    return 0
+
+
+def cmd_run(args, out):
+    suite = load_suite(args.dir)
+    if args.name not in suite:
+        print("unknown counterexample %r (choose from %s)"
+              % (args.name, ", ".join(sorted(suite))), file=out)
+        return 2
+    ce = suite[args.name]
+    result = run_counterexample(ce, args.protocol, trace_path=args.trace)
+    expected = ce.expected_verdict(args.protocol)
+    print("%s on %s: verdict=%s expected=%s"
+          % (ce.name, args.protocol, result.verdict, expected), file=out)
+    if result.breakdown:
+        print("  violations: " + ", ".join(
+            "%s=%d" % (kind, count)
+            for kind, count in sorted(result.breakdown.items())), file=out)
+        for when, kind, detail in result.violations[:10]:
+            print("  t=%-10g %-18s %s" % (when, kind, detail), file=out)
+        if len(result.violations) > 10:
+            print("  ... %d more" % (len(result.violations) - 10), file=out)
+    note = ce.notes.get(args.protocol)
+    if note:
+        print("  note: %s" % note, file=out)
+    if args.trace:
+        print("  trace -> %s" % args.trace, file=out)
+    if not result.matches_expected:
+        print("VERDICT REGRESSION: expected %s, got %s"
+              % (expected, result.verdict), file=out)
+        return 1
+    return 0
+
+
+def cmd_replay(args, out):
+    failures = 0
+    for path in args.traces:
+        result = replay_trace(path)
+        print("%s: %s" % (path, result.describe()), file=out)
+        breakdown = result.breakdown()
+        if breakdown:
+            print("  violations: " + ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(breakdown.items())), file=out)
+        if result.truncated:
+            print("  trace is truncated (retention cap): refusing to "
+                  "certify — a violation in the dropped prefix would be "
+                  "invisible", file=out)
+        if result.agreement is False:
+            failures += 1
+            print("  DISAGREEMENT with the online monitor: replay found "
+                  "%d violation(s), the monitor recorded %d — one of the "
+                  "two checkers is wrong"
+                  % (len(result.violations), len(result.recorded)),
+                  file=out)
+    return 1 if failures else 0
+
+
+def cmd_grid(args, out):
+    suite = load_suite(args.dir)
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    cells, divergences = run_grid(
+        suite=suite, protocols=protocols, trace_dir=args.trace_dir,
+        gzip=args.gzip, jobs=args.jobs, cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    print(format_grid(cells, divergences), file=out)
+    regressions = [c for c in cells if c.regression]
+    if regressions:
+        print("\n%d regression cell(s)" % len(regressions), file=out)
+        return 1
+    return 0
+
+
+_DISPATCH = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "replay": cmd_replay,
+    "grid": cmd_grid,
+}

@@ -1,0 +1,331 @@
+"""Offline conformance replay: audit invariants from a trace alone.
+
+Third parties should not have to trust the simulator's online
+:class:`~repro.faults.monitor.InvariantMonitor` — a ``.trace.jsonl(.gz)``
+artifact carries everything needed to re-check the paper's claims with no
+simulator in the loop.  :func:`replay_trace` rebuilds per-destination
+successor graphs from the ``route`` events' ``(successor, metric,
+dst_own)`` payloads, tracks crashes and reboots from the structured
+``fault`` events, and re-runs the same checks the monitor ran online:
+
+* **loop** — walk every node's successor chain after each table change
+  (Theorem 4, instantaneous loop freedom);
+* **ordering** — along each chain, sequence numbers non-decreasing and
+  feasible distances strictly decreasing for equal numbers (Theorem 2;
+  only for LDR traces, mirroring the online wiring);
+* **seqnum_ownership** — no node may hold a label fresher than the
+  destination's own (``dst_own``) label ceiling, tracked across reboots;
+* **dead_delivery / dead_transmit / dead_table_change** — crashed nodes
+  neither receive, transmit, nor mutate tables.
+
+The replay is a *conformance* check: for every trace, the offline
+verdict must agree with the monitor's recorded ``violation`` events —
+:attr:`ReplayResult.agreement` is False on any divergence, and the test
+suite treats that as a failure in its own right (either the monitor or
+the replay is wrong; both cannot be trusted until they re-agree).
+
+Truncated traces (header ``truncated`` flag — the recorder's retention
+cap dropped events) are never certified: the verdict is
+``"inconclusive"`` regardless of what the retained suffix shows, because
+a loop in the dropped prefix would be invisible.  ``reconvergence``
+violations are monitor-only (they need live physical-connectivity
+queries) and are excluded from the agreement comparison.
+"""
+
+from repro.obs.reader import iter_trace
+
+#: Violation kinds the offline replay can re-derive from a trace.  The
+#: monitor's ``reconvergence`` check is deliberately absent — it queries
+#: live channel connectivity, which a trace does not carry.
+REPLAY_KINDS = (
+    "loop",
+    "ordering",
+    "seqnum_ownership",
+    "dead_delivery",
+    "dead_transmit",
+    "dead_table_change",
+)
+
+
+def _comparable(value):
+    """Serialized labels as comparable values (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(_comparable(item) for item in value)
+    return value
+
+
+class ReplayResult:
+    """Outcome of replaying one trace."""
+
+    def __init__(self, verdict, violations, recorded, truncated, events,
+                 header, path=None):
+        self.verdict = verdict
+        self.violations = violations  # [(time, kind, detail)]
+        self.recorded = recorded      # [(time, kind)] monitor-recorded
+        self.truncated = truncated
+        self.events = events
+        self.header = header
+        self.path = path
+
+    def breakdown(self):
+        counts = {}
+        for _, kind, _ in self.violations:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    @property
+    def agreement(self):
+        """Offline replay vs online monitor, or None (truncated trace).
+
+        Truncation drops ``violation`` events along with everything else,
+        so there is nothing sound to compare against.
+        """
+        if self.truncated:
+            return None
+        mine = sorted((t, kind) for t, kind, _ in self.violations)
+        return mine == sorted(self.recorded)
+
+    def describe(self):
+        bits = ["verdict=%s" % self.verdict,
+                "events=%d" % self.events,
+                "violations=%d" % len(self.violations)]
+        agreement = self.agreement
+        if agreement is None:
+            bits.append("monitor-agreement=n/a(truncated)")
+        else:
+            bits.append("monitor-agreement=%s"
+                        % ("yes" if agreement else "NO"))
+        return " ".join(bits)
+
+
+class ReplayChecker:
+    """Streaming invariant re-checker over trace events.
+
+    Mirrors the online monitor exactly — same walk order (node-id order,
+    crashes removed, reboots re-appended), same at-most-one loop/ordering
+    violation per table change, same ownership-ceiling semantics — so
+    agreement can be checked timestamp-for-timestamp.
+    """
+
+    def __init__(self, header):
+        self.header = header
+        config = header.get("config") or {}
+        num_nodes = int(config.get("num_nodes", 0))
+        self.check_ordering = config.get("protocol") == "ldr"
+        self.duration = float(config.get("duration", 0.0))
+        # Walk order mirrors the monitor's checker dict: initial node-id
+        # order; a crash removes the node, a reboot re-appends it.
+        self._order = list(range(num_nodes))
+        self._active = set(self._order)
+        self._crashed = set()
+        self._succ = {node: {} for node in self._order}
+        self._metric = {node: {} for node in self._order}
+        self._ceiling = {}   # dst -> freshest dst_own seen (comparable)
+        self._route_dsts = set()
+        self.violations = []  # (time, kind, detail)
+        self.recorded = []    # (time, kind) from monitor violation events
+        self.events = 0
+        self._last_time = 0.0
+
+    # -- event intake ----------------------------------------------------
+
+    def feed(self, event):
+        self.events += 1
+        self._last_time = event.time
+        handler = getattr(self, "_on_%s" % event.kind, None)
+        if handler is not None:
+            handler(event)
+
+    def finish(self, destinations=None):
+        """End-of-stream audit sweep, mirroring the monitor's check_all.
+
+        ``destinations`` defaults to the header's ``destinations`` list
+        (the traffic sinks the online sweep covered); for hand-built
+        traces without one, every destination that ever appeared in a
+        route event is swept instead.
+        """
+        if destinations is None:
+            destinations = self.header.get("destinations")
+        if destinations is None:
+            destinations = sorted(self._route_dsts)
+        when = self.duration or self._last_time
+        for dst in destinations:
+            self._check_destination(dst, when)
+            self._check_ownership(dst, when)
+        return self
+
+    # -- per-kind handlers -----------------------------------------------
+
+    def _on_route(self, event):
+        node = event.node
+        dst = event.data.get("dst")
+        self._route_dsts.add(dst)
+        if node in self._crashed:
+            # The fault layer discarded this node's state; a mutation
+            # after the crash is itself a breach (the monitor records the
+            # same) and must not contaminate the replayed tables.
+            self._record(event.time, "dead_table_change",
+                         "crashed node %r changed its table for %r"
+                         % (node, dst))
+            return
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._metric[node] = {}
+        self._succ[node][dst] = event.data.get("successor")
+        self._metric[node][dst] = event.data.get("metric")
+        own = event.data.get("dst_own")
+        if own is not None:
+            own = _comparable(own)
+            ceiling = self._ceiling.get(dst)
+            if ceiling is None or own > ceiling:
+                self._ceiling[dst] = own
+        self._check_destination(dst, event.time)
+        self._check_ownership(dst, event.time)
+
+    def _on_fault(self, event):
+        fault = event.data.get("fault")
+        target = event.data.get("target")
+        if fault == "crash" and target is not None:
+            self._crashed.add(target)
+            if target in self._active:
+                self._active.discard(target)
+                self._order.remove(target)
+            # State loss: the reboot (if any) installs a factory-fresh
+            # table, so the crashed tables must not resurface.
+            self._succ[target] = {}
+            self._metric[target] = {}
+        elif fault == "reboot" and target is not None:
+            self._crashed.discard(target)
+            if target not in self._active:
+                self._active.add(target)
+                self._order.append(target)
+
+    def _on_deliver(self, event):
+        if event.node in self._crashed:
+            self._record(event.time, "dead_delivery",
+                         "packet delivered to crashed node %r" % event.node)
+
+    def _on_tx(self, event):
+        if event.node in self._crashed:
+            self._record(event.time, "dead_transmit",
+                         "crashed node %r transmitted" % event.node)
+
+    def _on_violation(self, event):
+        kind = event.data.get("violation")
+        if kind in REPLAY_KINDS:
+            self.recorded.append((event.time, kind))
+
+    # -- checks (mirroring LoopChecker / InvariantMonitor) ---------------
+
+    def _record(self, when, kind, detail):
+        self.violations.append((when, kind, detail))
+
+    def _check_destination(self, dst, when):
+        """Walk every active node's successor chain toward ``dst``.
+
+        Like the online checker, at most one loop/ordering violation is
+        recorded per audit (the checker raises on the first breach and
+        the monitor records that one error).
+        """
+        for start in self._order:
+            if self._walk(start, dst, when):
+                return
+
+    def _walk(self, start, dst, when):
+        seen = []
+        seen_set = set()
+        current = start
+        while current is not None and current != dst:
+            if current in seen_set:
+                loop = seen[seen.index(current):] + [current]
+                self._record(
+                    when, "loop",
+                    "routing loop for destination {}: {}".format(dst, loop))
+                return True
+            seen.append(current)
+            seen_set.add(current)
+            if current not in self._active:
+                break
+            nxt = self._succ.get(current, {}).get(dst)
+            if nxt is not None and self.check_ordering:
+                if self._ordering_breach(current, nxt, dst, when):
+                    return True
+            current = nxt
+        return False
+
+    def _ordering_breach(self, upstream, downstream, dst, when):
+        if downstream == dst or downstream not in self._active:
+            return False
+        up = self._metric.get(upstream, {}).get(dst)
+        down = self._metric.get(downstream, {}).get(dst)
+        if up is None or down is None:
+            return False
+        up_sn, up_fd = _comparable(up[0]), up[1]
+        down_sn, down_fd = _comparable(down[0]), down[1]
+        if down_sn < up_sn:
+            self._record(
+                when, "ordering",
+                "ordering violated toward {}: {}(sn={}) uses {}(sn={})"
+                .format(dst, upstream, up_sn, downstream, down_sn))
+            return True
+        if down_sn == up_sn and not (down_fd < up_fd):
+            self._record(
+                when, "ordering",
+                "feasible-distance ordering violated toward {}: "
+                "{} (fd={}) -> {} (fd={})".format(
+                    dst, upstream, up_fd, downstream, down_fd))
+            return True
+        return False
+
+    def _check_ownership(self, dst, when):
+        """No node may hold a label above the destination's own ceiling."""
+        ceiling = self._ceiling.get(dst)
+        if ceiling is None:
+            return
+        for node in self._order:
+            if node == dst:
+                continue
+            metric = self._metric.get(node, {}).get(dst)
+            if metric is None or metric[0] is None:
+                continue
+            label = _comparable(metric[0])
+            try:
+                forged = label > ceiling
+            except TypeError:
+                continue
+            if forged:
+                self._record(
+                    when, "seqnum_ownership",
+                    "node %r holds sn=%r for %r but the destination only "
+                    "ever issued up to %r" % (node, label, dst, ceiling))
+
+
+def replay_events(header, events, destinations=None):
+    """Replay an in-memory ``(header, events)`` pair."""
+    checker = ReplayChecker(header)
+    truncated = bool(header.get("truncated", False))
+    for event in events:
+        checker.feed(event)
+    checker.finish(destinations=destinations)
+    if truncated:
+        verdict = "inconclusive"
+    elif checker.violations:
+        verdict = ("loop" if any(k == "loop"
+                                 for _, k, _ in checker.violations)
+                   else "flagged")
+    else:
+        verdict = "immune"
+    return ReplayResult(
+        verdict=verdict, violations=checker.violations,
+        recorded=checker.recorded, truncated=truncated,
+        events=checker.events, header=header,
+    )
+
+
+def replay_trace(path, destinations=None):
+    """Replay the trace artifact at ``path`` (plain or gzip JSONL)."""
+    stream = iter_trace(path)
+    header = next(stream)
+    result = replay_events(header, stream, destinations=destinations)
+    result.path = str(path)
+    return result

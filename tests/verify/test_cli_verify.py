@@ -1,0 +1,93 @@
+"""``repro verify`` CLI smoke tests, through the real argv entry point."""
+
+import gzip
+import json
+
+from repro.__main__ import main
+
+
+def test_verify_list(capsys):
+    assert main(["verify", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "ce-aodv-1" in out and "ce-aodv-2" in out and "ce-aodv-3" in out
+    assert "arXiv" in out
+    assert "aodv=loop" in out
+
+
+def test_verify_run_aodv_loops(capsys):
+    assert main(["verify", "run", "ce-aodv-1", "--protocol", "aodv"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict=loop expected=loop" in out
+    assert "loop=" in out
+    assert "routing loop" in out
+
+
+def test_verify_run_ldr_is_immune_with_trace(tmp_path, capsys):
+    trace = tmp_path / "ldr.trace.jsonl.gz"
+    assert main(["verify", "run", "ce-aodv-1", "--protocol", "ldr",
+                 "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict=immune expected=immune" in out
+    assert trace.is_file()
+    with gzip.open(trace, "rt", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+    assert header["type"] == "header"
+    assert header["config"]["protocol"] == "ldr"
+    assert header["destinations"] == [2]
+
+
+def test_verify_run_unknown_name(capsys):
+    assert main(["verify", "run", "no-such-ce"]) == 2
+    assert "unknown counterexample" in capsys.readouterr().out
+
+
+def test_verify_run_flags_verdict_regression(tmp_path, capsys):
+    # Pin a wrong expectation in a scratch suite dir: the run must exit 1.
+    from repro.verify import COUNTEREXAMPLES_DIR
+
+    data = json.loads(
+        (COUNTEREXAMPLES_DIR / "ce-aodv-1.json").read_text())
+    data["expected"] = {"*": "immune"}
+    (tmp_path / "ce-aodv-1.json").write_text(json.dumps(data))
+    assert main(["verify", "run", "ce-aodv-1", "--protocol", "aodv",
+                 "--dir", str(tmp_path)]) == 1
+    assert "VERDICT REGRESSION" in capsys.readouterr().out
+
+
+def test_verify_replay_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "run.trace.jsonl"
+    assert main(["verify", "run", "ce-aodv-1", "--protocol", "aodv",
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["verify", "replay", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict=loop" in out
+    assert "monitor-agreement=yes" in out
+
+
+def test_verify_replay_missing_file(capsys):
+    assert main(["verify", "replay", "/no/such/trace.jsonl"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_verify_grid_smoke(tmp_path, capsys):
+    # Restrict to one counterexample for speed; full matrix is CI's job.
+    from repro.verify import COUNTEREXAMPLES_DIR
+
+    suite_dir = tmp_path / "suite"
+    suite_dir.mkdir()
+    (suite_dir / "ce-aodv-3.json").write_text(
+        (COUNTEREXAMPLES_DIR / "ce-aodv-3.json").read_text())
+    assert main([
+        "verify", "grid", "--dir", str(suite_dir),
+        "--protocols", "ldr,aodv",
+        "--trace-dir", str(tmp_path / "traces"),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--gzip",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ce-aodv-3" in out
+    assert "REGRESSION" not in out
+    assert "first LDR-vs-AODV route divergence" in out
+    gz = list((tmp_path / "traces").glob("*.trace.jsonl.gz"))
+    assert gz, "grid --gzip must leave gzip artifacts behind"

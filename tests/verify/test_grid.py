@@ -1,0 +1,121 @@
+"""The divergence grid: verdicts, cross-checks, and the rendered table."""
+
+import pytest
+
+from repro.obs import TraceEvent, trace_header, write_trace
+from repro.verify import (
+    GridCell,
+    first_route_divergence,
+    format_grid,
+    load_suite,
+    run_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def grid(tmp_path_factory):
+    base = tmp_path_factory.mktemp("grid")
+    suite = load_suite()
+    suite = {"ce-aodv-1": suite["ce-aodv-1"]}   # one row keeps this fast
+    return run_grid(suite=suite, protocols=("ldr", "aodv"),
+                    trace_dir=base / "traces", cache_dir=base / "cache")
+
+
+def test_grid_cells_match_expectations(grid):
+    cells, _ = grid
+    by_protocol = {c.protocol: c for c in cells}
+    assert set(by_protocol) == {"ldr", "aodv"}
+    aodv = by_protocol["aodv"]
+    assert aodv.online == "loop"
+    assert aodv.offline == "loop"
+    assert aodv.expected == "loop"
+    assert not aodv.regression
+    ldr = by_protocol["ldr"]
+    assert ldr.online == "immune"
+    assert ldr.offline == "immune"
+    assert not ldr.regression
+
+
+def test_grid_replay_agrees_with_monitor(grid):
+    cells, _ = grid
+    for cell in cells:
+        assert cell.replay is not None
+        assert cell.replay.agreement is True
+        assert cell.consistent
+
+
+def test_grid_pinpoints_the_ldr_aodv_divergence(grid):
+    cells, divergences = grid
+    assert "ce-aodv-1" in divergences
+    divergence = divergences["ce-aodv-1"]
+    assert divergence is not None          # the tables must part ways
+    index, a, b = divergence
+    assert index >= 0
+    assert (a is None) or (b is None) or (a.canonical() != b.canonical())
+
+
+def test_format_grid_renders_status_and_divergence(grid):
+    cells, divergences = grid
+    text = format_grid(cells, divergences)
+    assert "expected" in text and "agreement" in text
+    assert " ok" in text
+    assert "REGRESSION" not in text
+    assert "first LDR-vs-AODV route divergence" in text
+    assert "ce-aodv-1" in text
+
+
+def test_regression_when_verdict_deviates(grid):
+    cells, _ = grid
+    cell = next(c for c in cells if c.protocol == "aodv")
+    flipped = GridCell(
+        counterexample=cell.counterexample, protocol="aodv",
+        expected="immune", online=cell.online, replay=cell.replay,
+        trace_path=cell.trace_path,
+    )
+    assert flipped.regression
+    assert "REGRESSION" in format_grid([flipped])
+
+
+def test_untraced_cell_is_consistent_by_default(grid):
+    cells, _ = grid
+    cell = cells[0]
+    untraced = GridCell(
+        counterexample=cell.counterexample, protocol=cell.protocol,
+        expected=cell.expected, online=cell.online, replay=None,
+        trace_path=None,
+    )
+    assert untraced.offline is None
+    assert untraced.consistent
+    assert "untraced" in format_grid([untraced])
+
+
+def _write(path, events, **extra):
+    write_trace(path, events, header=trace_header(**extra))
+    return path
+
+
+def test_first_route_divergence_on_synthetic_traces(tmp_path):
+    shared = [TraceEvent(1.0, "route", 0, {"dst": 2, "successor": 1})]
+    a = _write(tmp_path / "a.jsonl", shared + [
+        TraceEvent(2.0, "route", 1, {"dst": 2, "successor": 2})])
+    b = _write(tmp_path / "b.jsonl", shared + [
+        TraceEvent(2.0, "route", 1, {"dst": 2, "successor": 0})])
+    divergence = first_route_divergence(a, b)
+    assert divergence is not None
+    index, ea, eb = divergence
+    assert index == 1
+    assert ea.data["successor"] == 2 and eb.data["successor"] == 0
+
+    # Identical traces: no divergence.
+    assert first_route_divergence(a, a) is None
+
+    # One side runs out: the extra event is the divergence point.
+    c = _write(tmp_path / "c.jsonl", shared)
+    divergence = first_route_divergence(a, c)
+    assert divergence == (1, None, None) or divergence[0] == 1
+    assert divergence[2] is None
+
+    # Non-route events never count.
+    d = _write(tmp_path / "d.jsonl", shared + [
+        TraceEvent(3.0, "tx", 0, {})])
+    assert first_route_divergence(c, d) is None
