@@ -13,26 +13,55 @@ The reproduction rests on two machine-checkable guarantees:
   :class:`~repro.routing.loopcheck.LoopChecker` can audit loop freedom
   instant by instant and can never be silently bypassed.
 
-Both were previously conventions; this package turns them into AST-level
-rules (``RL001``...) with an explicit, justified suppression mechanism
-(``# repro-lint: disable=RLxxx -- reason``).  See DESIGN.md section
-"Static-analysis gates" for the rule-by-rule rationale.
+The engine has two tiers.  *Syntactic* rules (``RL0xx``/``RL1xx``) see
+one file at a time; *whole-program* passes (``RL2xx`` stream taint,
+``RL3xx`` hook-bypass reachability, ``RL4xx`` guarded-update
+conformance) run over a project-wide symbol table, class hierarchy, and
+approximate call graph (:mod:`repro.lint.program`), because the bugs
+worth finding live in the composition of locally-plausible functions.
+Waivers are explicit and auditable: inline
+``# repro-lint: disable=RLxxx -- reason`` suppressions, or the
+committed ``lint_baseline.json`` (:mod:`repro.lint.baseline`) for
+accepted whole-program findings.  See DESIGN.md section "Static-analysis
+gates" for the rule-by-rule rationale.
 """
 
-from repro.lint.conformance import CONFORMANCE_RULES
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.config import LintConfig
-from repro.lint.core import Linter, Rule, Violation, all_rules
+from repro.lint.conformance import CONFORMANCE_RULES
+from repro.lint.core import (
+    Linter,
+    ProgramRule,
+    Rule,
+    Violation,
+    all_rules,
+    known_rule_ids,
+)
 from repro.lint.determinism import DETERMINISM_RULES
-from repro.lint.reporter import format_json, format_text
+from repro.lint.guards import GUARD_RULES
+from repro.lint.program import ProgramModel
+from repro.lint.reachability import REACHABILITY_RULES
+from repro.lint.reporter import format_json, format_sarif, format_text
+from repro.lint.taint import TAINT_RULES
 
 __all__ = [
+    "Baseline",
     "CONFORMANCE_RULES",
     "DETERMINISM_RULES",
+    "GUARD_RULES",
     "LintConfig",
     "Linter",
+    "ProgramModel",
+    "ProgramRule",
+    "REACHABILITY_RULES",
     "Rule",
+    "TAINT_RULES",
     "Violation",
     "all_rules",
     "format_json",
+    "format_sarif",
     "format_text",
+    "known_rule_ids",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -2,11 +2,20 @@
 
 Usage::
 
-    python -m repro lint                 # lint the shipped src/repro tree
-    python -m repro lint path/to/tree    # lint a directory (it becomes the
-                                         # layer root: protocols/x.py etc.)
-    python -m repro lint --list-rules    # rule catalogue with rationale
-    python -m repro lint --format json   # machine-readable output
+    python -m repro lint                    # full gate over src/repro
+    python -m repro lint --stage syntactic  # fast per-file rules only
+    python -m repro lint --stage program    # whole-program passes only
+    python -m repro lint path/to/tree       # lint a directory (it becomes
+                                            # the layer root)
+    python -m repro lint --list-rules       # rule catalogue with rationale
+    python -m repro lint --list-rules --format md   # README reference table
+    python -m repro lint --format sarif --out lint.sarif
+    python -m repro lint --update-baseline  # re-pin accepted findings
+
+Findings matching the committed ``lint_baseline.json`` (auto-discovered
+from the lint root upward; ``--baseline`` overrides, ``--no-baseline``
+disables) are filtered; stale baseline entries are themselves findings,
+so the pin file can only shrink deliberately.
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -18,8 +27,22 @@ import sys
 from pathlib import Path
 from typing import IO, List, Optional, Sequence
 
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.core import Linter, all_rules
-from repro.lint.reporter import format_json, format_rule_list, format_text
+from repro.lint.reporter import (
+    format_json,
+    format_markdown,
+    format_rule_list,
+    format_rule_table,
+    format_sarif,
+    format_text,
+)
 
 
 def default_root() -> Optional[Path]:
@@ -55,15 +78,30 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         "defaults to the linted directory or src/repro",
     )
     parser.add_argument(
+        "--stage",
+        choices=("syntactic", "program", "all"),
+        default="all",
+        help="which rule tier to run: fast per-file 'syntactic' rules, "
+        "whole-program 'program' passes, or both (default all)",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "md"),
         default="text",
         help="output format (default text)",
     )
     parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every rule with the invariant it protects and exit",
+        help="print every rule with the invariant it protects and exit "
+        "(--format md emits the README reference table)",
     )
     parser.add_argument(
         "--select",
@@ -71,14 +109,58 @@ def build_parser(add_help: bool = True) -> argparse.ArgumentParser:
         metavar="RLxxx[,RLxxx...]",
         help="run only the named rules",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file pinning accepted findings (default: the "
+        "first lint_baseline.json at or above the lint root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings, keeping "
+        "existing justifications; new entries get a TODO placeholder",
+    )
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help="report suppressions that no longer suppress anything",
+    )
     return parser
+
+
+def _resolve_baseline_path(
+    args: argparse.Namespace, root: Path
+) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    return discover_baseline(root)
 
 
 def run(args: argparse.Namespace, stream: IO[str]) -> int:
     rules = all_rules()
     if args.list_rules:
-        format_rule_list(rules, stream)
+        if args.format == "md":
+            format_rule_table(rules, stream)
+        else:
+            format_rule_list(rules, stream)
         return 0
+    if args.no_baseline and (args.baseline or args.update_baseline):
+        print(
+            "repro lint: --no-baseline conflicts with "
+            "--baseline/--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
     if args.select:
         wanted = {part.strip() for part in args.select.split(",")}
         unknown = wanted - {rule.id for rule in rules}
@@ -107,12 +189,84 @@ def run(args: argparse.Namespace, stream: IO[str]) -> int:
     if not paths:
         paths = [root]
 
+    baseline_path = _resolve_baseline_path(args, root)
+    baseline: Optional[Baseline] = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print("repro lint: %s" % exc, file=sys.stderr)
+            return 2
+
     linter = Linter(root=root, rules=rules)
-    violations = linter.run(paths)
-    if args.format == "json":
-        format_json(violations, stream)
-    else:
-        format_text(violations, stream)
+
+    if args.update_baseline:
+        target = baseline_path or Path("lint_baseline.json")
+        previous: Optional[Baseline] = None
+        if target.is_file():
+            try:
+                previous = load_baseline(target)
+            except BaselineError as exc:
+                print("repro lint: %s" % exc, file=sys.stderr)
+                return 2
+        violations = linter.run(
+            paths,
+            stage=args.stage,
+            strict_suppressions=args.strict_suppressions,
+        )
+        findings = [
+            (v.rule_id, linter._relpath(Path(v.path)), v.message)
+            for v in violations
+            if v.rule_id != "RL000"
+        ]
+        written = write_baseline(target, findings, previous)
+        todo = written.todo_entries()
+        stream.write(
+            "repro lint: baseline %s rewritten with %d finding%s"
+            % (
+                target,
+                len(written.entries),
+                "" if len(written.entries) == 1 else "s",
+            )
+        )
+        if todo:
+            stream.write(
+                "; %d need a justification before this can merge" % len(todo)
+            )
+        stream.write("\n")
+        return 0
+
+    violations = linter.run(
+        paths,
+        stage=args.stage,
+        strict_suppressions=args.strict_suppressions,
+        baseline=baseline,
+    )
+    if baseline is not None:
+        for entry in baseline.todo_entries():
+            print(
+                "repro lint: warning: baseline entry %s on %s still has a "
+                "TODO justification" % (entry.rule, entry.path),
+                file=sys.stderr,
+            )
+
+    out = stream
+    handle: Optional[IO[str]] = None
+    if args.out is not None:
+        handle = open(args.out, "w", encoding="utf-8")
+        out = handle
+    try:
+        if args.format == "json":
+            format_json(violations, out)
+        elif args.format == "sarif":
+            format_sarif(violations, out, rules)
+        elif args.format == "md":
+            format_markdown(violations, out)
+        else:
+            format_text(violations, out)
+    finally:
+        if handle is not None:
+            handle.close()
     return 1 if violations else 0
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 #: Layers (top-level package directories) whose code runs *inside* the
 #: simulated world and therefore must be bit-deterministic under a seed.
@@ -36,6 +36,51 @@ DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
 #: Layers that may define RoutingProtocol subclasses subject to the
 #: conformance rules (RL1xx).
 CONFORMANCE_LAYERS: FrozenSet[str] = frozenset({"protocols", "core"})
+
+#: The named-stream registry (RL2xx).  Each ``RngStreams`` stream belongs
+#: to the layer(s) listed here; acquiring or consuming it anywhere else is
+#: a cross-layer leak that couples two subsystems' random sequences (the
+#: exact failure mode the per-layer substream design exists to prevent —
+#: adding one extra draw in mobility must never perturb protocol
+#: behaviour).  Keys ending in ``.`` are prefixes for per-entity streams
+#: (``mac.<node>``, ``proto.<node>``, ``olsr.<node>``).  Host-side layers
+#: (``experiments``, ``bench``, ``exec``) sit outside DETERMINISTIC_LAYERS
+#: and are not patrolled: they *construct* the simulated world and hand
+#: streams to the layers that own them.
+STREAM_LAYERS: Mapping[str, Tuple[str, ...]] = {
+    "mobility": ("mobility",),
+    "traffic": ("traffic",),
+    "channel.gray": ("net",),
+    "mac.": ("net",),
+    "proto.": ("routing", "protocols", "core"),
+    "olsr.": ("protocols",),
+    "faults": ("faults",),
+}
+
+#: Routing-state fields whose assignment must be dominated by a
+#: feasibility check (RL401): the successor choice and the feasible
+#: distance are exactly the quantities Theorems 2 and 4 constrain.
+GUARDED_FIELDS: FrozenSet[str] = frozenset(
+    {"successor", "next_hop", "fd", "feasible_distance"}
+)
+
+#: Calls that constitute direct feasibility-condition evidence (RL401):
+#: the NDC/SDC predicates from core/conditions.py.
+FEASIBILITY_PREDICATES: FrozenSet[str] = frozenset(
+    {"ndc_accepts", "sdc_allows_reply", "t_bit_update", "strengthen_solicitation"}
+)
+
+#: Names that read as "infinite distance" — assigning one is a route
+#: teardown, which needs no feasibility guard (withdrawing a route cannot
+#: create a loop; Theorem 4's argument only constrains *adoption*).
+INFINITY_NAMES: FrozenSet[str] = frozenset({"INFINITY", "INF", "UNREACHABLE"})
+
+#: Legacy modules whose import is flagged (RL007) with the replacement to
+#: name in the message.  ``repro.trace`` became a deprecation shim when
+#: PR 5 moved tracing into ``repro.obs``.
+DEPRECATED_MODULES: Mapping[str, str] = {
+    "repro.trace": "repro.obs",
+}
 
 #: Methods exempt from the table-change notification rule: construction
 #: and startup run before the LoopChecker is installed.
@@ -54,6 +99,10 @@ DEFAULT_ALLOWLIST: Mapping[str, Tuple[str, ...]] = {
     # out-of-band (never in rows or traces), so perf_counter is confined
     # to that one file.
     "RL002": ("exec/", "bench/", "obs/profile.py"),
+    # The simulator's stream() accessor and the RngStreams factory are the
+    # dynamic pass-through every registered name flows over; the registry
+    # check applies at acquisition sites, not inside the plumbing.
+    "RL203": ("sim/",),
 }
 
 
@@ -64,9 +113,34 @@ class LintConfig:
     deterministic_layers: FrozenSet[str] = DETERMINISTIC_LAYERS
     conformance_layers: FrozenSet[str] = CONFORMANCE_LAYERS
     table_exempt_methods: FrozenSet[str] = TABLE_EXEMPT_METHODS
+    stream_layers: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(STREAM_LAYERS)
+    )
+    guarded_fields: FrozenSet[str] = GUARDED_FIELDS
+    feasibility_predicates: FrozenSet[str] = FEASIBILITY_PREDICATES
+    infinity_names: FrozenSet[str] = INFINITY_NAMES
+    deprecated_modules: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEPRECATED_MODULES)
+    )
     allowlist: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_ALLOWLIST)
     )
+
+    def stream_owners(self, name: str) -> Optional[Tuple[str, ...]]:
+        """Layers that own stream ``name`` (longest registry match), or
+        None when the name matches no registry entry."""
+        best: Optional[Tuple[str, str]] = None
+        for key in self.stream_layers:
+            if key.endswith("."):
+                if not (name == key[:-1] or name.startswith(key)):
+                    continue
+            elif name != key:
+                continue
+            if best is None or len(key) > len(best[0]):
+                best = (key, key)
+        if best is None:
+            return None
+        return tuple(self.stream_layers[best[0]])
 
     def is_allowed(self, rule_id: str, relpath: str) -> bool:
         """True when ``relpath`` is allowlisted for ``rule_id``."""

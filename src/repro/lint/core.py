@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, load_config
+from repro.lint.program import ProgramModel
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=\s*"
@@ -172,6 +174,7 @@ class FileContext:
         source: str,
         config: LintConfig,
         project: ProjectIndex,
+        program: Optional[ProgramModel] = None,
     ) -> None:
         self.path = path
         self.relpath = relpath
@@ -179,8 +182,23 @@ class FileContext:
         self.source = source
         self.config = config
         self.project = project
+        self.program = program
         self.layer = relpath.split("/", 1)[0] if "/" in relpath else ""
         self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def package(self) -> str:
+        """The package relative imports in this file resolve against."""
+        from repro.lint.program import module_name_for, package_for
+
+        return package_for(module_name_for(self.relpath), self.relpath)
+
+    def canonical(self, dotted: str) -> str:
+        """Resolve ``dotted`` through the program's export chains, when a
+        whole-program model is attached; identity otherwise."""
+        if self.program is not None:
+            return self.program.canonical(dotted)
+        return dotted
 
     def parent_map(self) -> Dict[ast.AST, ast.AST]:
         """Child -> parent for every node (built lazily, cached)."""
@@ -221,6 +239,9 @@ class Rule:
 
     id = "RL000"
     title = "abstract rule"
+    #: ``syntactic`` rules see one file at a time; ``program`` rules run
+    #: once over the whole-program model (see :class:`ProgramRule`).
+    stage = "syntactic"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
@@ -228,6 +249,26 @@ class Rule:
     def applies_to(self, ctx: FileContext) -> bool:
         """Layer gating; overridden by rule families."""
         return True
+
+
+class ProgramRule(Rule):
+    """An inter-procedural invariant checked once per run.
+
+    Subclasses implement :meth:`check_program` against the shared
+    :class:`~repro.lint.program.ProgramModel`; ``contexts`` maps each
+    root-relative path to its :class:`FileContext` so findings land at
+    real source locations (and suppression/allowlist filtering applies
+    exactly as it does for syntactic rules)."""
+
+    stage = "program"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_program(
+        self, program: ProgramModel, contexts: Dict[str, FileContext]
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
 
 
 def parse_suppressions(source: str) -> List[Suppression]:
@@ -249,16 +290,36 @@ def parse_suppressions(source: str) -> List[Suppression]:
 
 
 @dataclass
-class _SuppressionSpans:
-    """Resolved (rule_id, first_line, last_line) coverage windows."""
+class _Span:
+    """One resolved coverage window, with a usage bit for staleness."""
 
-    spans: List[Tuple[str, int, int]] = field(default_factory=list)
+    rule_id: str
+    first: int
+    last: int
+    used: bool = False
+
+
+@dataclass
+class _SuppressionSpans:
+    """Resolved coverage windows for one file."""
+
+    spans: List[_Span] = field(default_factory=list)
 
     def covers(self, rule_id: str, line: int) -> bool:
-        return any(
-            rule_id == rid and first <= line <= last
-            for rid, first, last in self.spans
-        )
+        hit = False
+        for span in self.spans:
+            if rule_id == span.rule_id and span.first <= line <= span.last:
+                span.used = True
+                hit = True
+        return hit
+
+    def stale(self, active_ids: Set[str]) -> List[_Span]:
+        """Spans that suppressed nothing, for rules this run evaluated."""
+        return [
+            span
+            for span in self.spans
+            if not span.used and span.rule_id in active_ids
+        ]
 
 
 def _definition_spans(tree: ast.Module) -> Dict[int, int]:
@@ -272,14 +333,37 @@ def _definition_spans(tree: ast.Module) -> Dict[int, int]:
 
 
 def resolve_suppressions(
-    ctx: FileContext, suppressions: Sequence[Suppression]
+    ctx: FileContext,
+    suppressions: Sequence[Suppression],
+    known_ids: Optional[Set[str]] = None,
 ) -> Tuple[_SuppressionSpans, List[Violation]]:
-    """Turn directives into coverage spans; unjustified ones are RL000."""
+    """Turn directives into coverage spans.
+
+    Unjustified directives are RL000 and suppress nothing; a directive
+    naming a rule id that does not exist is RL000 too (it is a typo that
+    would otherwise silently fail open — the author believes something is
+    waived when nothing is)."""
     spans = _SuppressionSpans()
     problems: List[Violation] = []
     def_spans = _definition_spans(ctx.tree)
     lines = ctx.source.splitlines()
     for suppression in suppressions:
+        if known_ids is not None:
+            for rule_id in suppression.rule_ids:
+                if rule_id not in known_ids:
+                    problems.append(
+                        Violation(
+                            path=str(ctx.path),
+                            line=suppression.line,
+                            col=0,
+                            rule_id="RL000",
+                            message=(
+                                "suppression names unknown rule id '%s'; "
+                                "no such rule exists, so nothing is waived"
+                                % rule_id
+                            ),
+                        )
+                    )
         if not suppression.reason:
             problems.append(
                 Violation(
@@ -309,16 +393,38 @@ def resolve_suppressions(
                     break
         last = def_spans.get(target, target)
         for rule_id in suppression.rule_ids:
-            spans.spans.append((rule_id, min(suppression.line, target), last))
+            if known_ids is not None and rule_id not in known_ids:
+                continue  # an unknown id has no rule to suppress
+            spans.spans.append(
+                _Span(rule_id, min(suppression.line, target), last)
+            )
     return spans, problems
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, determinism family first."""
+    """Every registered rule: determinism, conformance, then the
+    whole-program families (taint, reachability, guards)."""
     from repro.lint.conformance import CONFORMANCE_RULES
     from repro.lint.determinism import DETERMINISM_RULES
+    from repro.lint.guards import GUARD_RULES
+    from repro.lint.reachability import REACHABILITY_RULES
+    from repro.lint.taint import TAINT_RULES
 
-    return [rule_cls() for rule_cls in (*DETERMINISM_RULES, *CONFORMANCE_RULES)]
+    return [
+        rule_cls()
+        for rule_cls in (
+            *DETERMINISM_RULES,
+            *CONFORMANCE_RULES,
+            *TAINT_RULES,
+            *REACHABILITY_RULES,
+            *GUARD_RULES,
+        )
+    ]
+
+
+def known_rule_ids() -> Set[str]:
+    """Every rule id a suppression may legitimately name."""
+    return {rule.id for rule in all_rules()} | {"RL000"}
 
 
 class Linter:
@@ -358,11 +464,18 @@ class Linter:
         except ValueError:
             return path.name
 
-    def run(self, paths: Optional[Sequence[Path]] = None) -> List[Violation]:
+    def run(
+        self,
+        paths: Optional[Sequence[Path]] = None,
+        stage: str = "all",
+        strict_suppressions: bool = False,
+        baseline: Optional[Baseline] = None,
+    ) -> List[Violation]:
         files = self.collect_files(paths)
         project = ProjectIndex()
         parsed: List[Tuple[Path, str, ast.Module, str]] = []
         violations: List[Violation] = []
+        relpath_of: Dict[str, str] = {}
         for path in files:
             try:
                 source = path.read_text(encoding="utf-8")
@@ -379,15 +492,38 @@ class Linter:
                 )
                 continue
             relpath = self._relpath(path)
+            relpath_of[str(path)] = relpath
             project.add_module(tree, relpath)
             parsed.append((path, relpath, tree, source))
+
+        # The whole-program model is built unconditionally: even the
+        # syntactic stage resolves imports through its export table (a
+        # re-exported wall clock is still a wall clock).  The call graph
+        # inside it is lazy, so the syntactic stage stays fast.
+        program = ProgramModel.build(
+            [(path, relpath, tree) for path, relpath, tree, _ in parsed],
+            root_package=self.root.name,
+        )
+
+        active = [rule for rule in self.rules if stage in ("all", rule.stage)]
+        active_ids = {rule.id for rule in active}
+        known = known_rule_ids() | {rule.id for rule in self.rules}
+
+        contexts: Dict[str, FileContext] = {}
+        spans_of: Dict[str, _SuppressionSpans] = {}
         for path, relpath, tree, source in parsed:
-            ctx = FileContext(path, relpath, tree, source, self.config, project)
-            spans, problems = resolve_suppressions(
-                ctx, parse_suppressions(source)
+            ctx = FileContext(
+                path, relpath, tree, source, self.config, project, program
             )
+            contexts[relpath] = ctx
+            spans, problems = resolve_suppressions(
+                ctx, parse_suppressions(source), known
+            )
+            spans_of[relpath] = spans
             violations.extend(problems)
-            for rule in self.rules:
+            for rule in active:
+                if rule.stage != "syntactic":
+                    continue
                 if self.config.is_allowed(rule.id, relpath):
                     continue
                 if not rule.applies_to(ctx):
@@ -395,6 +531,71 @@ class Linter:
                 for violation in rule.check(ctx):
                     if not spans.covers(violation.rule_id, violation.line):
                         violations.append(violation)
+
+        for rule in active:
+            if rule.stage != "program" or not isinstance(rule, ProgramRule):
+                continue
+            for violation in rule.check_program(program, contexts):
+                relpath = relpath_of.get(violation.path, violation.path)
+                if self.config.is_allowed(violation.rule_id, relpath):
+                    continue
+                spans = spans_of.get(relpath)
+                if spans is not None and spans.covers(
+                    violation.rule_id, violation.line
+                ):
+                    continue
+                violations.append(violation)
+
+        if strict_suppressions:
+            for relpath, spans in spans_of.items():
+                ctx = contexts[relpath]
+                for span in spans.stale(active_ids):
+                    violations.append(
+                        Violation(
+                            path=str(ctx.path),
+                            line=span.first,
+                            col=0,
+                            rule_id="RL000",
+                            message=(
+                                "stale suppression: %s does not fire on "
+                                "the covered lines; delete the directive"
+                                % span.rule_id
+                            ),
+                        )
+                    )
+
+        if baseline is not None:
+            violations = [
+                violation
+                for violation in violations
+                if not baseline.match(
+                    violation.rule_id,
+                    relpath_of.get(violation.path, violation.path),
+                    violation.message,
+                )
+            ]
+            for entry in baseline.stale_entries():
+                if entry.rule not in active_ids:
+                    continue  # that rule didn't run (stage/--select filter)
+                violations.append(
+                    Violation(
+                        path=str(baseline.path),
+                        line=1,
+                        col=0,
+                        rule_id="RL000",
+                        message=(
+                            "stale baseline entry: %s on %s (%s) no longer "
+                            "fires; remove it from %s in this PR"
+                            % (
+                                entry.rule,
+                                entry.path,
+                                entry.message,
+                                baseline.path.name,
+                            )
+                        ),
+                    )
+                )
+
         # Rules may visit overlapping scopes (module + nested functions);
         # report each distinct finding once.
         unique = sorted(

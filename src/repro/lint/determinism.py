@@ -20,6 +20,7 @@ import ast
 from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.lint.core import FileContext, Rule, Violation
+from repro.lint.program import resolve_relative
 
 #: Wall-clock reads banned in simulated-world code (RL002).
 _WALL_CLOCKS = frozenset(
@@ -45,20 +46,31 @@ _UUID_CALLS = frozenset({"uuid.uuid1", "uuid.uuid4", "os.urandom"})
 _SET_CALLS = frozenset({"set", "frozenset"})
 
 
-def _module_bindings(tree: ast.Module) -> Dict[str, str]:
-    """Local name -> dotted prefix it stands for (``import``/``from``)."""
+def _module_bindings(tree: ast.Module, package: str = "") -> Dict[str, str]:
+    """Local name -> dotted prefix it stands for (``import``/``from``).
+
+    Relative imports resolve against ``package`` (the importing file's
+    own package): ``from .compat import clock`` in ``sim/use.py`` binds
+    ``clock`` to ``sim.compat.clock``, which the caller can then chase
+    through the program's export table.  The old implementation dropped
+    every ``node.level != 0`` import, so a banned call laundered through
+    a relative re-export was invisible to RL001-RL006.
+    """
     bindings: Dict[str, str] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 local = alias.asname or alias.name.split(".", 1)[0]
                 bindings[local] = alias.name if alias.asname else local
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_relative(package, node.level, node.module)
+            if base is None:
+                continue
             for alias in node.names:
                 if alias.name == "*":
                     continue
                 bindings[alias.asname or alias.name] = (
-                    node.module + "." + alias.name
+                    base + "." + alias.name
                 )
     return bindings
 
@@ -77,6 +89,17 @@ def _dotted_name(
     resolved = bindings.get(current.id, current.id)
     parts.append(resolved)
     return ".".join(reversed(parts))
+
+
+def _resolved_call_name(
+    ctx: FileContext, node: ast.expr, bindings: Dict[str, str]
+) -> Optional[str]:
+    """Dotted call target, chased through export chains when a program
+    model is attached (a re-exported wall clock is still a wall clock)."""
+    dotted = _dotted_name(node, bindings)
+    if dotted is None:
+        return None
+    return ctx.canonical(dotted)
 
 
 class DeterministicLayerRule(Rule):
@@ -154,11 +177,11 @@ class BanWallClock(Rule):
     title = "wall-clock read in simulation code"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        bindings = _module_bindings(ctx.tree)
+        bindings = _module_bindings(ctx.tree, ctx.package)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            dotted = _dotted_name(node.func, bindings)
+            dotted = _resolved_call_name(ctx, node.func, bindings)
             if dotted in _WALL_CLOCKS:
                 yield ctx.violation(
                     node,
@@ -181,7 +204,7 @@ class BanUniqueIds(Rule):
     title = "UUID / OS-entropy identifier"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        bindings = _module_bindings(ctx.tree)
+        bindings = _module_bindings(ctx.tree, ctx.package)
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 names = (
@@ -196,7 +219,7 @@ class BanUniqueIds(Rule):
                         "the 'secrets' module is OS entropy by definition",
                     )
             elif isinstance(node, ast.Call):
-                dotted = _dotted_name(node.func, bindings)
+                dotted = _resolved_call_name(ctx, node.func, bindings)
                 if dotted in _UUID_CALLS:
                     yield ctx.violation(
                         node,
@@ -372,6 +395,62 @@ class BanUnorderedTieBreaks(DeterministicLayerRule):
                         )
 
 
+class BanDeprecatedImport(Rule):
+    """RL007: no new imports of retired legacy modules.
+
+    Invariant protected: *single source of truth for shared subsystems*.
+    ``repro.trace`` became a deprecation shim when the observability
+    layer (``repro.obs``) absorbed tracing; code importing the legacy
+    path keeps two names alive for one artifact format, and a future
+    divergence between them would be invisible to the byte-identity
+    gates.  The registry of retired modules (and their replacements)
+    lives in :data:`repro.lint.config.DEPRECATED_MODULES`.
+    """
+
+    id = "RL007"
+    title = "import of a deprecated legacy module"
+
+    @staticmethod
+    def _lookup(name: str, table: Dict[str, str]) -> Optional[Tuple[str, str]]:
+        for legacy, replacement in table.items():
+            if name == legacy or name.startswith(legacy + "."):
+                return legacy, replacement
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Accept both absolute and lint-root-relative spellings: inside
+        # the tree the shim's root-relative dotted name is 'trace'.
+        table: Dict[str, str] = {}
+        for legacy, replacement in ctx.config.deprecated_modules.items():
+            table[legacy] = replacement
+            if legacy.startswith("repro."):
+                table[legacy[len("repro."):]] = replacement
+        for node in ast.walk(ctx.tree):
+            candidates: list = []
+            if isinstance(node, ast.Import):
+                candidates = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                base = resolve_relative(ctx.package, node.level, node.module)
+                if base is None:
+                    continue
+                candidates = [base] + [
+                    base + "." + alias.name
+                    for alias in node.names
+                    if alias.name != "*"
+                ]
+            for candidate in candidates:
+                hit = self._lookup(candidate, table)
+                if hit is not None:
+                    legacy, replacement = hit
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "import of deprecated module '%s'; use '%s' instead"
+                        % (legacy, replacement),
+                    )
+                    break
+
+
 DETERMINISM_RULES: Tuple[type, ...] = (
     BanAmbientRandom,
     BanWallClock,
@@ -379,4 +458,5 @@ DETERMINISM_RULES: Tuple[type, ...] = (
     BanIdOrdering,
     BanHashDependence,
     BanUnorderedTieBreaks,
+    BanDeprecatedImport,
 )

@@ -1,0 +1,346 @@
+"""Guarded-update conformance (RL401).
+
+The paper's loop-freedom argument (Theorems 2 and 4) is a statement
+about *when* a node may change its successor or feasible distance: only
+after the (sn, fd, d) feasibility conditions — NDC for LDR, SNC for the
+DUAL/ROAM family — have been checked against the advertisement being
+adopted.  The runtime LoopChecker verifies the *consequences* of every
+change; this rule verifies the *precondition* statically, so a feasibility
+guard deleted or bypassed in a refactor fails the build instead of
+waiting for a topology that happens to exercise the loop.
+
+Mechanically it is a pragmatic dominator analysis over the AST: for each
+assignment to a guarded routing field (``successor``/``next_hop``/``fd``)
+in a feasibility protocol (one whose ``route_metric`` returns the real
+``(sn, fd, d)`` triple — LDR, DUAL, ROAM; AODV and friends return None
+and opt out), the statements that dominate the write are its preceding
+siblings in every enclosing block plus the tests of enclosing ``if``/
+``while``.  Evidence that a feasibility check governs the write is:
+
+* a call to one of the NDC/SDC predicates from ``core/conditions.py``
+  (``ndc_accepts``, ``sdc_allows_reply``, ...), in a dominating
+  statement or in the assigned value itself;
+* a comparison mentioning a metric-triplet name (``fd``, ``seqno``,
+  ``adv_sn``, ``feasible`` ...);
+* a call to a helper whose own body contains such evidence (one level —
+  the ``best = self._best_feasible(state)`` idiom).
+
+Route *teardowns* (assigning ``None``/``INFINITY``) are exempt:
+withdrawing a route cannot create a loop, and Theorem 4's argument only
+constrains adoption.  A helper that is never locally guarded (DUAL's
+``_adopt``) passes when **every** resolved call site is dominated by
+evidence in its caller — the guard may live one frame up, but it must
+exist on all paths.
+
+This is an over-approximation in the safe-for-signal direction: block
+siblings count as dominating even from branches that might not execute,
+so conformant code stays quiet; genuinely guard-free writes (the shape
+a refactor accident produces) have no evidence anywhere and still fire.
+Findings that are *correct by protocol design* — DUAL and ROAM reset fd
+at diffusing-computation termination, with safety coming from the
+coordination discipline, not a local comparison — are pinned in the
+committed ``lint_baseline.json`` with that justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.core import FileContext, ProgramRule, Violation
+from repro.lint.program import FunctionDecl, ProgramModel
+
+#: Substrings/tokens that mark an identifier as part of the (sn, fd, d)
+#: metric triplet for evidence purposes.
+_FD_TOKENS = ("fd", "feasible")
+_SN_EXACT = frozenset({"sn", "seqno", "seq"})
+
+
+def _is_metric_name(identifier: str) -> bool:
+    low = identifier.lower()
+    if low in _SN_EXACT:
+        return True
+    for token in _FD_TOKENS:
+        if token in low:
+            return True
+    return "seqno" in low or low.startswith("sn_") or low.endswith("_sn") \
+        or "_sn_" in low
+
+
+def _mentions_metric(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _is_metric_name(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _is_metric_name(sub.attr):
+            return True
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class GuardedUpdateRule(ProgramRule):
+    """RL401: successor/fd assignments must be feasibility-dominated.
+
+    Invariant protected: *Theorem 2/4 preconditions as a compile-time
+    gate*.  See the module docstring for the analysis; the LoopChecker
+    remains the runtime backstop for anything static reasoning cannot
+    see (field writes through exotic aliasing, data-dependent guards).
+    """
+
+    id = "RL401"
+    title = "routing-field write without a dominating feasibility check"
+
+    def check_program(
+        self, program: ProgramModel, contexts: Dict[str, FileContext]
+    ) -> Iterator[Violation]:
+        target_modules = self._feasibility_modules(program)
+        for module_name in sorted(target_modules):
+            module = program.modules[module_name]
+            ctx = contexts.get(module.relpath)
+            if ctx is None:
+                continue
+            for key in sorted(program.functions):
+                function = program.functions[key]
+                if function.module != module_name:
+                    continue
+                if function.name in ctx.config.table_exempt_methods:
+                    continue
+                yield from self._check_function(program, contexts, ctx, function)
+
+    @staticmethod
+    def _feasibility_modules(program: ProgramModel) -> Set[str]:
+        """Modules defining a protocol whose route_metric returns a
+        3-tuple — the classes the (sn, fd, d) theorems speak about."""
+        modules: Set[str] = set()
+        for decl in program.protocol_classes():
+            resolved = program.resolve_method(decl.key, "route_metric")
+            if resolved is None:
+                continue
+            _, fn = resolved
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Tuple)
+                    and len(node.value.elts) == 3
+                ):
+                    modules.add(decl.module)
+                    break
+        return modules
+
+    def _check_function(
+        self,
+        program: ProgramModel,
+        contexts: Dict[str, FileContext],
+        ctx: FileContext,
+        function: FunctionDecl,
+    ) -> Iterator[Violation]:
+        config = ctx.config
+        for stmt, field in self._guarded_writes(function.node, config):
+            if self._write_evidenced(program, ctx, function, stmt):
+                continue
+            if self._callers_all_guarded(program, contexts, function):
+                continue
+            where = function.key.split(":", 1)[1]
+            yield ctx.violation(
+                stmt,
+                self.id,
+                "%s assigns routing field '%s' without a dominating "
+                "feasibility check on the (sn, fd, d) triplet; Theorem "
+                "2/4 require NDC/SNC evidence before a route is adopted"
+                % (where, field),
+            )
+
+    # ------------------------------------------------------------------
+    # write collection
+    # ------------------------------------------------------------------
+    def _guarded_writes(
+        self, function: ast.FunctionDef, config: LintConfig
+    ) -> List[Tuple[ast.stmt, str]]:
+        writes: List[Tuple[ast.stmt, str]] = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for field in self._field_targets(target, config):
+                        if not self._is_teardown(node.value, target, config):
+                            writes.append((node, field))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                for field in self._field_targets(node.target, config):
+                    value = getattr(node, "value", None)
+                    if value is None or not self._is_teardown(
+                        value, node.target, config
+                    ):
+                        writes.append((node, field))
+        return writes
+
+    @staticmethod
+    def _field_targets(target: ast.expr, config: LintConfig) -> List[str]:
+        fields: List[str] = []
+        elements = (
+            list(target.elts)
+            if isinstance(target, (ast.Tuple, ast.List))
+            else [target]
+        )
+        for element in elements:
+            if (
+                isinstance(element, ast.Attribute)
+                and element.attr in config.guarded_fields
+            ):
+                fields.append(element.attr)
+        return fields
+
+    @staticmethod
+    def _is_teardown(
+        value: ast.expr, target: ast.expr, config: LintConfig
+    ) -> bool:
+        """Withdrawals need no guard: None / INFINITY assignments."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # A tuple unpack from a non-literal value is a real adoption.
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                return False
+            return all(
+                GuardedUpdateRule._is_teardown(elt, ast.Name(id="_"), config)
+                for elt in value.elts
+            )
+        if isinstance(value, ast.Constant) and value.value is None:
+            return True
+        if isinstance(value, ast.Name) and value.id in config.infinity_names:
+            return True
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr in config.infinity_names
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # evidence
+    # ------------------------------------------------------------------
+    def _write_evidenced(
+        self,
+        program: ProgramModel,
+        ctx: FileContext,
+        function: FunctionDecl,
+        stmt: ast.stmt,
+    ) -> bool:
+        region = self._dominating_nodes(ctx, stmt)
+        value = getattr(stmt, "value", None)
+        if value is not None:
+            region.append(value)  # guard baked into the assigned expression
+        return self._region_evidenced(program, ctx, function, region)
+
+    @staticmethod
+    def _dominating_nodes(ctx: FileContext, stmt: ast.stmt) -> List[ast.AST]:
+        """Preceding siblings in every enclosing block, plus enclosing
+        if/while tests, up to the function boundary."""
+        nodes: List[ast.AST] = []
+        parents = ctx.parent_map()
+        child: ast.AST = stmt
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, (ast.If, ast.While)):
+                nodes.append(parent.test)
+            for block_field in ("body", "orelse", "finalbody"):
+                block = getattr(parent, block_field, None)
+                if isinstance(block, list) and child in block:
+                    nodes.extend(block[: block.index(child)])
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child = parent
+            parent = parents.get(parent)
+        return nodes
+
+    def _region_evidenced(
+        self,
+        program: ProgramModel,
+        ctx: FileContext,
+        function: FunctionDecl,
+        region: List[ast.AST],
+    ) -> bool:
+        predicates = ctx.config.feasibility_predicates
+        helper_calls: List[ast.Call] = []
+        for node in region:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    name = _call_name(sub)
+                    if name in predicates:
+                        return True
+                    helper_calls.append(sub)
+                elif isinstance(sub, ast.Compare) and _mentions_metric(sub):
+                    return True
+        # One level through helpers: `best = self._best_feasible(state)`.
+        for call in helper_calls:
+            callee = self._resolve_callee(program, function, call)
+            if callee is None:
+                continue
+            for sub in ast.walk(callee.node):
+                if isinstance(sub, ast.Call) and _call_name(sub) in predicates:
+                    return True
+                if isinstance(sub, ast.Compare) and _mentions_metric(sub):
+                    return True
+        return False
+
+    @staticmethod
+    def _resolve_callee(
+        program: ProgramModel, function: FunctionDecl, call: ast.Call
+    ) -> Optional[FunctionDecl]:
+        module = program.modules.get(function.module)
+        if module is None:
+            return None
+        key = program._resolve_call(call, function, module)
+        if key is None:
+            return None
+        return program.functions.get(key)
+
+    # ------------------------------------------------------------------
+    # caller-side fallback
+    # ------------------------------------------------------------------
+    def _callers_all_guarded(
+        self,
+        program: ProgramModel,
+        contexts: Dict[str, FileContext],
+        function: FunctionDecl,
+    ) -> bool:
+        """True when the guard provably lives one frame up: the function
+        has call sites and every one is dominated by evidence."""
+        sites = program.callers_of(function.key)
+        if not sites:
+            return False
+        for site in sites:
+            caller = program.functions.get(site.caller)
+            if caller is None:
+                return False
+            caller_module = program.modules.get(caller.module)
+            if caller_module is None:
+                return False
+            caller_ctx = contexts.get(caller_module.relpath)
+            if caller_ctx is None:
+                return False
+            region = self._dominating_nodes(
+                caller_ctx, self._enclosing_stmt(caller_ctx, site.node)
+            )
+            if not self._region_evidenced(
+                program, caller_ctx, caller, region
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _enclosing_stmt(ctx: FileContext, node: ast.AST) -> ast.stmt:
+        """The statement a call expression belongs to."""
+        current: ast.AST = node
+        parents = ctx.parent_map()
+        while current is not None and not isinstance(current, ast.stmt):
+            current = parents.get(current)  # type: ignore[assignment]
+        if isinstance(current, ast.stmt):
+            return current
+        return ast.Pass(lineno=getattr(node, "lineno", 1), col_offset=0)
+
+
+GUARD_RULES: Tuple[type, ...] = (GuardedUpdateRule,)

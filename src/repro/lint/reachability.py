@@ -1,0 +1,358 @@
+"""Hook-bypass reachability (RL301).
+
+RL103 proves that a *direct* ``self.table[...] = ...`` inside a protocol
+method is followed by ``_notify_table_change``.  It is blind to every
+indirect route to the same state: a local alias (``t = self.table;
+t[dst] = e``), a helper that receives the table (or ``self``) as an
+argument and mutates it, and a method inherited from a mixin defined in
+another file.  Each of those is a path on which the routing table changes
+while the :class:`~repro.routing.loopcheck.LoopChecker` — the runtime
+witness for the paper's Theorem 4 — is never told to look.  Van
+Glabbeek/Höfner's AODV analyses found exactly this shape: per-function
+reasoning holds, the composition loops.
+
+This rule walks the whole-program call graph.  A mutation is cleared
+when a notification *or a call into the notify closure* (a function that
+transitively fires ``table_change_hook``) appears at-or-after it — the
+same post-domination approximation RL103 uses, so the two rules agree on
+what "notified" means and never double-report: RL103 keeps direct
+own-method mutations; RL301 takes aliases, helper arguments, and
+cross-file inheritance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.conformance import (
+    _MUTATING_METHODS,
+    _notify_calls,
+    _self_attr,
+    _successor_reads,
+    _table_mutations,
+)
+from repro.lint.core import FileContext, ProgramRule, Violation
+from repro.lint.program import ClassDecl, ProgramModel
+
+
+def _aliases_of(method: ast.FunctionDef, tracked: Set[str]) -> Dict[str, str]:
+    """Local names bound to a tracked ``self`` attribute."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                attr = _self_attr(node.value)
+                if attr is not None and attr in tracked:
+                    aliases[target.id] = attr
+                elif target.id in aliases:
+                    del aliases[target.id]  # rebound to something else
+    return aliases
+
+
+def _name_mutations(
+    scope: ast.FunctionDef, names: Dict[str, str]
+) -> List[Tuple[ast.AST, str]]:
+    """Container mutations applied through one of ``names`` directly."""
+    mutations: List[Tuple[ast.AST, str]] = []
+
+    def named_subscript(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            return names.get(target.value.id)
+        return None
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = named_subscript(target)
+                if attr is not None:
+                    mutations.append((node, attr))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = named_subscript(node.target)
+            if attr is not None:
+                mutations.append((node, attr))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = named_subscript(target)
+                if attr is not None:
+                    mutations.append((node, attr))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS and isinstance(
+                node.func.value, ast.Name
+            ):
+                attr = names.get(node.func.value.id)
+                if attr is not None:
+                    mutations.append((node, attr))
+    return mutations
+
+
+def _param_mutations(
+    callee: ast.FunctionDef, param: str, tracked: Set[str], passed_self: bool
+) -> List[str]:
+    """Tracked attrs the callee mutates through parameter ``param``.
+
+    ``passed_self=True`` means the whole protocol object was handed over,
+    so mutations look like ``param.<tracked>[k] = v``; otherwise the
+    table itself was passed and mutations hit ``param`` directly.
+    """
+    if not passed_self:
+        return [param for _ in _name_mutations(callee, {param: param})]
+
+    def param_attr(node: ast.expr) -> Optional[str]:
+        """``param.<tracked>`` -> the tracked attr name."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and node.attr in tracked
+        ):
+            return node.attr
+        return None
+
+    hits: List[str] = []
+    for node in ast.walk(callee):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            attr = param_attr(node.func.value)
+            if attr is not None:
+                hits.append(attr)
+            continue
+        for target in targets:
+            # Subscript store/delete on param.<tracked>, or rebinding the
+            # attribute wholesale.
+            if isinstance(target, ast.Subscript):
+                attr = param_attr(target.value)
+            else:
+                attr = param_attr(target)
+            if attr is not None:
+                hits.append(attr)
+    return hits
+
+
+def _arg_binding(
+    call: ast.Call, callee: ast.FunctionDef, tracked: Set[str]
+) -> List[Tuple[str, bool, Optional[str]]]:
+    """(param, passed_self, tracked_attr) for interesting arguments.
+
+    ``passed_self`` — the caller handed over ``self``; otherwise it handed
+    over ``self.<tracked_attr>`` itself.
+    """
+    params = [a.arg for a in callee.args.args]
+    bindings: List[Tuple[str, bool, Optional[str]]] = []
+    # Positional args align after the callee's own `self`, when present.
+    offset = 1 if params and params[0] == "self" else 0
+    for index, arg in enumerate(call.args):
+        slot = index + offset
+        if slot >= len(params):
+            break
+        if isinstance(arg, ast.Name) and arg.id == "self":
+            bindings.append((params[slot], True, None))
+        else:
+            attr = _self_attr(arg)
+            if attr is not None and attr in tracked:
+                bindings.append((params[slot], False, attr))
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg not in params:
+            continue
+        if isinstance(keyword.value, ast.Name) and keyword.value.id == "self":
+            bindings.append((keyword.arg, True, None))
+        else:
+            attr = _self_attr(keyword.value)
+            if attr is not None and attr in tracked:
+                bindings.append((keyword.arg, False, attr))
+    return bindings
+
+
+class RequireReachableNotify(ProgramRule):
+    """RL301: no call-graph path may mutate the routing table unnotified.
+
+    Invariant protected: *Theorem 4 auditability*, inter-procedurally.
+    The tracked state is whatever ``self`` attributes the protocol's
+    ``successor()`` reads (RL103's definition).  Three path shapes RL103
+    cannot see are checked, across files via the class hierarchy:
+
+    * **aliases** — ``t = self.table; t[dst] = entry``;
+    * **helper arguments** — ``_prune(self.table)`` or ``_prune(self)``
+      where the helper's body mutates what it was handed and is not in
+      the notify closure;
+    * **inherited methods** — a mixin method defined in another
+      file/class that mutates the protocol's tracked attributes.
+
+    A mutation is cleared by a notification-equivalent call (a direct
+    hook call, or a call to a function that transitively notifies)
+    lexically at-or-after it, or in the same loop body.
+    """
+
+    id = "RL301"
+    title = "routing-table mutation reachable without notification"
+
+    def check_program(
+        self, program: ProgramModel, contexts: Dict[str, FileContext]
+    ) -> Iterator[Violation]:
+        notifiers = program.notifiers()
+        for decl in program.protocol_classes():
+            module = program.modules.get(decl.module)
+            if module is None:
+                continue
+            ctx = contexts.get(module.relpath)
+            if ctx is None or ctx.layer not in ctx.config.conformance_layers:
+                continue
+            resolved = program.resolve_method(decl.key, "successor")
+            if resolved is None:
+                continue  # RL101's jurisdiction
+            tracked = _successor_reads(resolved[1])
+            if not tracked:
+                continue
+            yield from self._check_class(
+                program, contexts, decl, tracked, notifiers
+            )
+
+    def _check_class(
+        self,
+        program: ProgramModel,
+        contexts: Dict[str, FileContext],
+        decl: ClassDecl,
+        tracked: Set[str],
+        notifiers: Set[str],
+    ) -> Iterator[Violation]:
+        for owner, method in program.methods_of(decl.key):
+            owner_module = program.modules.get(owner.module)
+            if owner_module is None:
+                continue
+            ctx = contexts.get(owner_module.relpath)
+            if ctx is None:
+                continue
+            if method.name in ctx.config.table_exempt_methods:
+                continue
+            key = program.function_key(owner, method, owner.module)
+            cleared = self._notify_equivalents(
+                program, method, key, notifiers
+            )
+
+            # Inherited coverage: direct self.<tracked> mutations in a
+            # method whose defining class is not itself a protocol class
+            # (those are RL103's jurisdiction, checked with their own
+            # tracked set in their own file).
+            if owner.key != decl.key and not program.is_routing_protocol(
+                owner.key
+            ):
+                for mutation, attr in _table_mutations(method, tracked):
+                    if self._is_cleared(ctx, mutation, cleared):
+                        continue
+                    yield ctx.violation(
+                        mutation,
+                        self.id,
+                        "%s.%s mutates routing table 'self.%s' (inherited "
+                        "into a protocol) without reaching "
+                        "table_change_hook; the LoopChecker cannot audit "
+                        "this change" % (owner.name, method.name, attr),
+                    )
+
+            # Alias mutations, in every visible method.
+            aliases = _aliases_of(method, tracked)
+            if aliases:
+                for mutation, attr in _name_mutations(method, aliases):
+                    if self._is_cleared(ctx, mutation, cleared):
+                        continue
+                    yield ctx.violation(
+                        mutation,
+                        self.id,
+                        "%s.%s mutates routing table 'self.%s' through a "
+                        "local alias without reaching table_change_hook; "
+                        "the LoopChecker cannot audit this change"
+                        % (owner.name, method.name, attr),
+                    )
+
+            # Helper-argument mutations: self (or a tracked table) handed
+            # to a callee that mutates it and never notifies.
+            yield from self._check_helper_args(
+                program, ctx, owner, method, key, tracked, notifiers, cleared
+            )
+
+    def _check_helper_args(
+        self,
+        program: ProgramModel,
+        ctx: FileContext,
+        owner: ClassDecl,
+        method: ast.FunctionDef,
+        key: str,
+        tracked: Set[str],
+        notifiers: Set[str],
+        cleared: List[ast.AST],
+    ) -> Iterator[Violation]:
+        for site in program.calls_in(key):
+            if site.callee in notifiers:
+                continue
+            callee_decl = program.functions.get(site.callee)
+            if callee_decl is None:
+                continue
+            for param, passed_self, attr in _arg_binding(
+                site.node, callee_decl.node, tracked
+            ):
+                mutated = _param_mutations(
+                    callee_decl.node, param, tracked, passed_self
+                )
+                if not mutated:
+                    continue
+                if self._is_cleared(ctx, site.node, cleared):
+                    continue
+                what = mutated[0] if passed_self else (attr or param)
+                yield ctx.violation(
+                    site.node,
+                    self.id,
+                    "%s.%s passes routing state to %s, which mutates "
+                    "'%s' without reaching table_change_hook; the "
+                    "LoopChecker cannot audit this change"
+                    % (owner.name, method.name, callee_decl.name, what),
+                )
+
+    @staticmethod
+    def _notify_equivalents(
+        program: ProgramModel,
+        method: ast.FunctionDef,
+        key: str,
+        notifiers: Set[str],
+    ) -> List[ast.AST]:
+        """Calls in ``method`` that count as notification: direct hook
+        invocations plus calls into the notify closure."""
+        cleared: List[ast.AST] = list(_notify_calls(method))
+        for site in program.calls_in(key):
+            if site.callee in notifiers:
+                cleared.append(site.node)
+        return cleared
+
+    @staticmethod
+    def _is_cleared(
+        ctx: FileContext, mutation: ast.AST, cleared: List[ast.AST]
+    ) -> bool:
+        mutation_line = getattr(mutation, "lineno", 0)
+        for node in cleared:
+            if getattr(node, "lineno", 0) >= mutation_line:
+                return True
+        mutation_loops = {
+            ancestor
+            for ancestor in ctx.ancestors(mutation)
+            if isinstance(ancestor, (ast.For, ast.While))
+        }
+        if mutation_loops:
+            for node in cleared:
+                for ancestor in ctx.ancestors(node):
+                    if ancestor in mutation_loops:
+                        return True
+        return False
+
+
+REACHABILITY_RULES: Tuple[type, ...] = (RequireReachableNotify,)

@@ -54,3 +54,111 @@ def format_rule_list(rules: Sequence[Rule], stream: IO[str]) -> None:
             for line in first.splitlines():
                 stream.write("       %s\n" % line.strip())
         stream.write("\n")
+
+
+def _doc_summary(rule: Rule) -> str:
+    """First docstring paragraph, flattened to one line."""
+    doc = (type(rule).__doc__ or "").strip()
+    if not doc:
+        return rule.title
+    first = doc.split("\n\n", 1)[0]
+    return " ".join(part.strip() for part in first.splitlines())
+
+
+def format_rule_table(rules: Sequence[Rule], stream: IO[str]) -> None:
+    """``--list-rules --format md``: the rule-reference table README
+    embeds.  Regenerate with ``python -m repro lint --list-rules
+    --format md`` whenever a rule is added or its summary changes."""
+    stream.write("| ID | Stage | Title | Invariant |\n")
+    stream.write("|----|-------|-------|----------|\n")
+    for rule in rules:
+        summary = _doc_summary(rule).replace("|", "\\|").replace("``", "`")
+        title = rule.title.replace("|", "\\|")
+        stream.write(
+            "| %s | %s | %s | %s |\n" % (rule.id, rule.stage, title, summary)
+        )
+
+
+def format_markdown(violations: Sequence[Violation], stream: IO[str]) -> None:
+    """Violations as a markdown table (PR comments, job summaries)."""
+    if not violations:
+        stream.write("`repro lint`: clean\n")
+        return
+    stream.write("| File | Line | Rule | Message |\n")
+    stream.write("|------|------|------|--------|\n")
+    for v in violations:
+        stream.write(
+            "| %s | %d | %s | %s |\n"
+            % (v.path, v.line, v.rule_id, v.message.replace("|", "\\|"))
+        )
+
+
+#: Pinned SARIF schema; consumers (GitHub code scanning et al.) key on it.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def format_sarif(
+    violations: Sequence[Violation],
+    stream: IO[str],
+    rules: Sequence[Rule] = (),
+) -> None:
+    """SARIF 2.1.0 so findings annotate PRs via code-scanning upload."""
+    rule_ids = sorted({v.rule_id for v in violations})
+    by_id = {rule.id: rule for rule in rules}
+    descriptors = []
+    for rule_id in rule_ids:
+        rule = by_id.get(rule_id)
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": rule.title if rule else "engine diagnostic",
+                "shortDescription": {
+                    "text": rule.title if rule else "engine diagnostic"
+                },
+                "fullDescription": {
+                    "text": _doc_summary(rule) if rule else (
+                        "RL000: unparsable file, unjustified or stale "
+                        "suppression, or stale baseline entry"
+                    )
+                },
+            }
+        )
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

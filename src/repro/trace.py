@@ -1,12 +1,22 @@
-"""Compatibility shim: event tracing now lives in :mod:`repro.obs`.
+"""Deprecated compatibility shim: event tracing lives in :mod:`repro.obs`.
 
 The original 155-line in-memory recorder grew into the observability
 package — streaming JSONL trace files, retention policies, fault/violation
 events, a profiler registry, and the ``repro trace`` CLI.  Import from
 :mod:`repro.obs` in new code; this module keeps the old import path
-working.
+working, but importing it warns (and ``repro lint`` flags it as RL007
+inside the shipped tree) so the legacy name can eventually be deleted.
 """
 
+import warnings
+
 from repro.obs import TraceEvent, TraceRecorder
+
+warnings.warn(
+    "repro.trace is deprecated; import TraceEvent/TraceRecorder from "
+    "repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["TraceEvent", "TraceRecorder"]

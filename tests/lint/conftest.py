@@ -14,12 +14,12 @@ def lint_tree(tmp_path):
     Returns the violation list.
     """
 
-    def run(files, rules=None):
+    def run(files, rules=None, **run_kwargs):
         for relpath, source in files.items():
             path = tmp_path / relpath
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(source, encoding="utf-8")
-        return Linter(root=tmp_path, rules=rules).run()
+        return Linter(root=tmp_path, rules=rules).run(**run_kwargs)
 
     return run
 

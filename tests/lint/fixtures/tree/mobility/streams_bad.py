@@ -1,0 +1,11 @@
+"""KNOWN BAD: stream-name typo (RL203) and stream escape (RL202)."""
+
+from net.sink import absorb
+
+
+class Walker:
+    def step(self):
+        rng = self.sim.stream('mobilty')  # line 8: RL203 (typo)
+        good = self.sim.stream('mobility')
+        absorb(good)  # line 10: RL202 (handed into net/)
+        return rng.random()

@@ -1,0 +1,5 @@
+"""Specimen net-layer helper: a landing site for escaped streams."""
+
+
+def absorb(rng):
+    return rng.random()

@@ -1,0 +1,29 @@
+"""KNOWN BAD: one specimen per whole-program rule family.
+
+RL201 — acquires another layer's stream; RL301 — mutates the routing
+table through a local alias and never notifies; RL401 — adopts a
+successor with no feasibility evidence anywhere.
+"""
+
+from routing.base import RoutingProtocol
+
+
+class BadProtocol(RoutingProtocol):
+    def successor(self, dst):
+        entry = self.table.get(dst)
+        return entry.next_hop if entry else None
+
+    def route_metric(self, dst):
+        entry = self.table[dst]
+        return (entry.sn, entry.fd, entry.dist)
+
+    def jitter(self):
+        return self.sim.stream('mobility').random()  # line 21: RL201
+
+    def adopt(self, dst, entry):
+        t = self.table
+        t[dst] = entry  # line 25: RL301 (alias, never notified)
+
+    def on_update(self, dst, nbr, dist):
+        entry = self.table[dst]
+        entry.successor = nbr  # line 29: RL401 (no guard anywhere)

@@ -1,0 +1,5 @@
+"""KNOWN BAD: imports the retired trace shim (RL007)."""
+
+from repro.trace import TraceRecorder  # line 3: RL007
+
+RECORDER_CLASS = TraceRecorder

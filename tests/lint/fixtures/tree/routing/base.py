@@ -1,0 +1,9 @@
+"""Specimen base class: the hierarchy root the program model keys on."""
+
+
+class RoutingProtocol:
+    def successor(self, dst):
+        raise NotImplementedError
+
+    def route_metric(self, dst):
+        raise NotImplementedError

@@ -1,0 +1,7 @@
+"""KNOWN BAD: wall clock reached through a relative re-export (RL002)."""
+
+from .compat import now
+
+
+def tick():
+    return now()  # line 7: RL002 via sim.compat.now -> time.time

@@ -1,0 +1,5 @@
+"""Specimen re-export: launders a wall clock behind a friendly name."""
+
+from time import time as now
+
+__all__ = ["now"]

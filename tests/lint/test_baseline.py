@@ -1,0 +1,140 @@
+"""The findings baseline: load/validate, matching, staleness, round-trip."""
+
+import json
+
+import pytest
+
+from repro.lint import Linter
+from repro.lint.baseline import (
+    TODO_JUSTIFICATION,
+    BaselineError,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.taint import CrossLayerStreamAcquisition
+from tests.lint.conftest import rule_ids
+
+
+def _write(tmp_path, findings, name="lint_baseline.json"):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"version": 1, "findings": findings}), encoding="utf-8"
+    )
+    return path
+
+
+GOOD_ENTRY = {
+    "rule": "RL201",
+    "path": "protocols/bad.py",
+    "message": "msg",
+    "justification": "reviewed: deliberate",
+}
+
+
+def test_load_and_match_marks_usage(tmp_path):
+    baseline = load_baseline(_write(tmp_path, [GOOD_ENTRY]))
+    assert not baseline.match("RL201", "protocols/other.py", "msg")
+    assert baseline.stale_entries() == baseline.entries
+    assert baseline.match("RL201", "protocols/bad.py", "msg")
+    assert baseline.stale_entries() == []
+
+
+def test_unjustified_entry_is_rejected(tmp_path):
+    for broken in (
+        {**GOOD_ENTRY, "justification": ""},
+        {k: v for k, v in GOOD_ENTRY.items() if k != "justification"},
+    ):
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(_write(tmp_path, [broken]))
+
+
+def test_wrong_version_is_rejected(tmp_path):
+    path = tmp_path / "lint_baseline.json"
+    path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    with pytest.raises(BaselineError, match="version"):
+        load_baseline(path)
+
+
+def test_discover_walks_upward(tmp_path):
+    pin = _write(tmp_path, [])
+    nested = tmp_path / "src" / "repro"
+    nested.mkdir(parents=True)
+    assert discover_baseline(nested) == pin
+    assert discover_baseline(tmp_path) == pin
+
+
+def test_write_preserves_existing_justifications(tmp_path):
+    previous = load_baseline(_write(tmp_path, [GOOD_ENTRY], "old.json"))
+    written = write_baseline(
+        tmp_path / "new.json",
+        [
+            ("RL201", "protocols/bad.py", "msg"),  # already pinned
+            ("RL401", "protocols/new.py", "other"),  # new finding
+        ],
+        previous,
+    )
+    by_rule = {entry.rule: entry for entry in written.entries}
+    assert by_rule["RL201"].justification == "reviewed: deliberate"
+    assert by_rule["RL401"].justification == TODO_JUSTIFICATION
+    # And the file round-trips through the loader.
+    reloaded = load_baseline(tmp_path / "new.json")
+    assert reloaded.entries == written.entries
+
+
+def _bad_tree(tmp_path):
+    bad = tmp_path / "protocols" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "class Proto:\n"
+        "    def jitter(self):\n"
+        "        return self.sim.stream('mobility').random()\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_linter_filters_pinned_findings(tmp_path):
+    tree = _bad_tree(tmp_path)
+    linter = Linter(root=tree, rules=[CrossLayerStreamAcquisition()])
+    unfiltered = linter.run()
+    assert rule_ids(unfiltered) == ["RL201"]
+    pin = _write(tmp_path, [{
+        "rule": "RL201",
+        "path": "protocols/bad.py",
+        "message": unfiltered[0].message,
+        "justification": "reviewed: fixture",
+    }])
+    assert linter.run(baseline=load_baseline(pin)) == []
+
+
+def test_stale_baseline_entry_is_reported(tmp_path):
+    tree = _bad_tree(tmp_path)
+    pin = _write(tmp_path, [{
+        "rule": "RL201",
+        "path": "protocols/gone.py",
+        "message": "no such finding any more",
+        "justification": "reviewed: once upon a time",
+    }])
+    linter = Linter(root=tree, rules=[CrossLayerStreamAcquisition()])
+    violations = linter.run(baseline=load_baseline(pin))
+    assert sorted(rule_ids(violations)) == ["RL000", "RL201"]
+    stale = [v for v in violations if v.rule_id == "RL000"]
+    assert "stale baseline entry" in stale[0].message
+
+
+def test_stale_entry_for_inactive_rule_is_not_reported(tmp_path):
+    # A single-rule (or single-stage) run must not call other rules'
+    # pins stale — they never had a chance to fire.
+    tree = _bad_tree(tmp_path)
+    pin = _write(tmp_path, [
+        {
+            "rule": "RL401",
+            "path": "protocols/elsewhere.py",
+            "message": "another rule's pin",
+            "justification": "reviewed: belongs to RL401",
+        },
+    ])
+    linter = Linter(root=tree, rules=[CrossLayerStreamAcquisition()])
+    violations = linter.run(baseline=load_baseline(pin))
+    assert rule_ids(violations) == ["RL201"]

@@ -53,3 +53,91 @@ def test_lint_select_subset(tmp_path, capsys):
 
 def test_lint_select_unknown_rule_is_usage_error(tmp_path):
     assert main(["lint", "--select", "RL999", str(tmp_path)]) == 2
+
+
+def _program_fixture_tree(tmp_path):
+    """A tree whose only defect needs the whole-program stage to see."""
+    bad = tmp_path / "protocols" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "class Proto:\n"
+        "    def jitter(self):\n"
+        "        return self.rng.stream('mobility').random()\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_lint_stage_split(tmp_path, capsys):
+    tree = _program_fixture_tree(tmp_path)
+    # The cross-layer stream grab is invisible to the per-file tier...
+    assert main(["lint", "--stage", "syntactic", str(tree)]) == 0
+    capsys.readouterr()
+    # ...and caught by the whole-program tier.
+    assert main(["lint", "--stage", "program", str(tree)]) == 1
+    assert "RL201" in capsys.readouterr().out
+
+
+def test_lint_sarif_format(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    assert main(["lint", "--format", "sarif", str(tree)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    results = run["results"]
+    assert results and results[0]["ruleId"] == "RL001"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 1
+
+
+def test_lint_markdown_format(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    assert main(["lint", "--format", "md", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "| RL001 |" in out or "RL001" in out
+
+
+def test_lint_out_writes_report_file(tmp_path, capsys):
+    tree = _fixture_tree(tmp_path)
+    report = tmp_path / "report.sarif"
+    assert main(["lint", "--format", "sarif", "--out", str(report),
+                 str(tree)]) == 1
+    capsys.readouterr()
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["runs"][0]["results"]
+
+
+def test_lint_list_rules_markdown_table(capsys):
+    assert main(["lint", "--list-rules", "--format", "md"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("|")
+    for rule_id in ("RL201", "RL301", "RL401"):
+        assert rule_id in out
+
+
+def test_lint_no_baseline_exposes_pinned_findings(capsys):
+    # The shipped tree is clean only modulo the committed baseline: the
+    # DUAL/ROAM diffusing-computation waivers resurface without it.
+    assert main(["lint", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "RL401" in out
+
+
+def test_lint_update_baseline_roundtrip(tmp_path, capsys):
+    tree = _program_fixture_tree(tmp_path)
+    pin = tmp_path / "lint_baseline.json"
+    assert main(["lint", "--baseline", str(pin), "--update-baseline",
+                 str(tree)]) == 0
+    out = capsys.readouterr().out
+    assert "1 finding" in out and "justification" in out
+    payload = json.loads(pin.read_text(encoding="utf-8"))
+    assert payload["findings"][0]["rule"] == "RL201"
+    # The freshly pinned finding is now filtered (TODO warning aside).
+    assert main(["lint", "--baseline", str(pin), str(tree)]) == 0
+    capsys.readouterr()
+
+
+def test_lint_no_baseline_conflicts_with_baseline(tmp_path):
+    assert main(["lint", "--no-baseline", "--baseline",
+                 str(tmp_path / "b.json"), str(tmp_path)]) == 2

@@ -132,3 +132,66 @@ def test_clean_protocol_file_is_clean(lint_tree):
         "    return options[rng.randrange(len(options))]\n"
     )
     assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+# ----------------------------------------------------------------------
+# Relative imports (the _module_bindings blind spot, fixed in this PR)
+# ----------------------------------------------------------------------
+
+def test_rl002_sees_through_relative_import(lint_tree):
+    # The old _module_bindings dropped every `node.level != 0` import, so
+    # a wall clock re-imported relatively was invisible.
+    files = {
+        "sim/compat.py": "from time import time as now\n",
+        "sim/clock.py": (
+            "from .compat import now\n"
+            "\n"
+            "\n"
+            "def tick():\n"
+            "    return now()\n"
+        ),
+    }
+    violations = lint_tree(files)
+    assert "RL002" in rule_ids(violations)
+    assert any(
+        v.path.endswith("sim/clock.py") and "time.time" in v.message
+        for v in violations
+    )
+
+
+def test_rl003_sees_through_two_level_relative_import(lint_tree):
+    files = {
+        "net/ids.py": "from uuid import uuid4 as fresh\n",
+        "net/mac/frame.py": (
+            "from ..ids import fresh\n"
+            "\n"
+            "\n"
+            "def tag():\n"
+            "    return fresh()\n"
+        ),
+    }
+    assert "RL003" in rule_ids(lint_tree(files))
+
+
+# ----------------------------------------------------------------------
+# RL007 — deprecated legacy modules
+# ----------------------------------------------------------------------
+
+def test_rl007_flags_legacy_trace_import(lint_tree):
+    source = "from repro.trace import TraceRecorder\n"
+    violations = lint_tree({PROTO: source})
+    assert "RL007" in rule_ids(violations)
+    assert any("repro.obs" in v.message for v in violations)
+
+
+def test_rl007_flags_plain_import_and_root_relative_spelling(lint_tree):
+    assert "RL007" in rule_ids(lint_tree({PROTO: "import repro.trace\n"}))
+    # Inside the lint root the shim's dotted name is just 'trace'.
+    assert "RL007" in rule_ids(
+        lint_tree({PROTO: "from trace import TraceRecorder\n"})
+    )
+
+
+def test_rl007_silent_on_the_replacement(lint_tree):
+    source = "from repro.obs import TraceRecorder\n"
+    assert "RL007" not in rule_ids(lint_tree({PROTO: source}))

@@ -57,3 +57,40 @@ def test_suppression_multiple_ids(lint_tree):
 def test_unparsable_file_reports_rl000(lint_tree):
     violations = lint_tree({PROTO: "def broken(:\n"})
     assert rule_ids(violations) == ["RL000"]
+
+
+def test_unknown_rule_id_in_suppression_is_a_finding(lint_tree):
+    source = (
+        "import random  # repro-lint: disable=RL999 -- typo for RL001\n"
+    )
+    violations = lint_tree({PROTO: source})
+    ids = rule_ids(violations)
+    # The typo'd waiver is reported, has no effect, and names the bad id.
+    assert "RL000" in ids
+    assert "RL001" in ids
+    assert any("RL999" in v.message for v in violations
+               if v.rule_id == "RL000")
+
+
+def test_stale_suppression_silent_by_default(lint_tree):
+    source = (
+        "x = 1  # repro-lint: disable=RL001 -- nothing to waive here\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source})) == []
+
+
+def test_stale_suppression_flagged_under_strict(lint_tree):
+    source = (
+        "x = 1  # repro-lint: disable=RL001 -- nothing to waive here\n"
+    )
+    violations = lint_tree({PROTO: source}, strict_suppressions=True)
+    assert rule_ids(violations) == ["RL000"]
+    assert "stale suppression" in violations[0].message
+
+
+def test_used_suppression_survives_strict_mode(lint_tree):
+    source = (
+        "import random  # repro-lint: disable=RL001 -- fixture: real waiver\n"
+    )
+    assert rule_ids(lint_tree({PROTO: source},
+                              strict_suppressions=True)) == []

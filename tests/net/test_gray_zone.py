@@ -143,7 +143,7 @@ def test_trace_json_roundtrip():
     import json
 
     from repro.experiments import ScenarioConfig, build_scenario
-    from repro.trace import TraceRecorder
+    from repro.obs import TraceRecorder
 
     scenario = build_scenario(ScenarioConfig(
         protocol="ldr", num_nodes=8, width=700.0, height=300.0,

@@ -1,7 +1,12 @@
-"""Tests for the trace recorder."""
+"""Tests for the trace recorder (and the deprecated ``repro.trace`` shim)."""
+
+import importlib
+import sys
+
+import pytest
 
 from repro.experiments import ScenarioConfig, build_scenario
-from repro.trace import TraceRecorder
+from repro.obs import TraceRecorder
 
 
 def _traced_scenario(**overrides):
@@ -68,3 +73,11 @@ def test_loop_checker_still_runs_when_traced():
     scenario.run()
     assert scenario.loop_checker.checks_run > 0
     assert trace.select(kind="route")
+
+
+def test_legacy_import_path_warns_and_still_works():
+    """``repro.trace`` stays importable but announces its retirement."""
+    sys.modules.pop("repro.trace", None)
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        legacy = importlib.import_module("repro.trace")
+    assert legacy.TraceRecorder is TraceRecorder
