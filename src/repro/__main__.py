@@ -12,7 +12,16 @@ table1        regenerate Table 1 for a flow count
 figure        regenerate one of Figures 2-7
 campaign      named extra campaigns (``churn``: crash/reboot/partition
               grids over LDR vs AODV vs DSR with the monitor on;
-              ``--trace [DIR]`` keeps a per-trial JSONL trace artifact)
+              ``--trace [DIR]`` keeps a per-trial JSONL trace artifact;
+              ``--journal DIR`` journals the run crash-tolerantly and
+              ``campaign resume DIR`` continues it after a crash,
+              SIGINT/SIGTERM, or power loss — merged results are
+              byte-identical to an uninterrupted run)
+chaos         crash-tolerance self-test: SIGKILL workers and the driver
+              mid-campaign, truncate the journal tail, corrupt cache and
+              trace bytes, then resume and assert byte-identical rows
+              and artifacts (the designated poison trial must end up
+              quarantined, not campaign-fatal)
 cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
@@ -44,7 +53,12 @@ from repro.experiments import (
     ScenarioConfig,
     build_scenario,
 )
-from repro.experiments.campaigns import Campaign, churn_table, format_churn
+from repro.experiments.campaigns import (
+    Campaign,
+    aggregate_churn,
+    format_churn,
+    run_churn,
+)
 from repro.faults import FaultPlan, FaultPlanError
 from repro.experiments.figures import (
     figure_delivery,
@@ -93,6 +107,11 @@ def _campaign_from(args):
         cache_dir=args.cache_dir, progress=_progress(args),
         trace_dir=getattr(args, "trace", None),
         trace_gzip=getattr(args, "gzip", False),
+        journal=getattr(args, "journal", None),
+        retries=getattr(args, "retries", 1),
+        timeout=getattr(args, "timeout", None),
+        quarantine_after=getattr(args, "quarantine_after", None),
+        stall_timeout=getattr(args, "stall_timeout", None),
     )
 
 
@@ -200,18 +219,108 @@ def cmd_figure(args):
     return 0
 
 
+def _report_churn(labels, result, manifest=None):
+    """Render a churn result: table, quarantine report, resume hint."""
+    table = aggregate_churn(labels, result)
+    print(format_churn(table))
+    quarantined = result.quarantined()
+    if quarantined:
+        print("\n%d trial(s) quarantined after repeated failure:"
+              % len(quarantined), file=sys.stderr)
+        for trial in quarantined:
+            last = (trial.error or "").strip().splitlines()
+            print("  trial #%d (%s, seed %d): %s"
+                  % (trial.index, trial.config.protocol, trial.config.seed,
+                     last[-1] if last else "(no error recorded)"),
+                  file=sys.stderr)
+    if result.interrupted:
+        print("\ninterrupted by %s at %.0f%% coverage; campaign state is "
+              "journaled — resume with:" % (result.interrupted,
+                                            100.0 * result.coverage),
+              file=sys.stderr)
+        if manifest is not None:
+            print("  " + manifest.resume_command(), file=sys.stderr)
+        return 3
+    failures = result.failures()
+    if failures:
+        print("\n%d trial(s) failed outright:" % len(failures),
+              file=sys.stderr)
+        for trial in failures:
+            last = (trial.error or "").strip().splitlines()
+            print("  trial #%d (%s): %s"
+                  % (trial.index, trial.config.protocol,
+                     last[-1] if last else "(no error recorded)"),
+                  file=sys.stderr)
+        return 1
+    total = sum(row["invariant_violations"] for row in table)
+    if total:
+        print("\n%d invariant violation(s) across the campaign"
+              % total, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_resume(args):
+    from repro.exec.manifest import ManifestError, resume_campaign
+
+    if not args.dir:
+        print("campaign resume needs the campaign directory "
+              "(the one holding manifest.jsonl)", file=sys.stderr)
+        return 2
+    try:
+        manifest, result = resume_campaign(args.dir, progress=_progress(args))
+    except (ManifestError, FileNotFoundError) as err:
+        print("cannot resume %s: %s" % (args.dir, err), file=sys.stderr)
+        return 2
+    if manifest.torn_tail:
+        print("note: journal had a torn final record (crash signature); "
+              "the transition it described was re-derived", file=sys.stderr)
+    meta = manifest.header.get("meta", {})
+    labels = [tuple(label) for label in meta.get("labels", [])]
+    if manifest.header.get("name") == "churn" \
+            and len(labels) == len(result.trials):
+        return _report_churn(labels, result, manifest)
+    # A journal without table metadata still resumes; report coverage.
+    print("campaign %r: %d/%d trial(s) complete (coverage %.0f%%), "
+          "%d quarantined, %d failed"
+          % (manifest.header.get("name"), len(result.completed()),
+             len(result.trials), 100.0 * result.coverage,
+             len(result.quarantined()), result.failed))
+    if result.interrupted:
+        print("interrupted by %s; resume with:\n  %s"
+              % (result.interrupted, manifest.resume_command()),
+              file=sys.stderr)
+        return 3
+    return 0 if not result.failures() else 1
+
+
 def cmd_campaign(args):
+    if args.name == "resume":
+        return _cmd_campaign_resume(args)
     campaign = _campaign_from(args)
     if args.name == "churn":
-        table = churn_table(campaign)
-        print(format_churn(table))
-        total = sum(row["invariant_violations"] for row in table)
-        if total:
-            print("\n%d invariant violation(s) across the campaign"
-                  % total, file=sys.stderr)
-            return 1
-        return 0
+        if args.dir:
+            print("positional DIR is only for 'campaign resume'; use "
+                  "--journal DIR to journal a churn run", file=sys.stderr)
+            return 2
+        labels, result, manifest = run_churn(campaign)
+        return _report_churn(labels, result, manifest)
     raise AssertionError("unreachable: argparse restricts choices")
+
+
+def cmd_chaos(args):
+    import tempfile
+
+    from repro.exec.chaos import ChaosError, run_chaos
+
+    root = args.dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        return run_chaos(root, jobs=args.jobs, seed=args.seed,
+                         trials=args.trials, duration=args.duration,
+                         timeout=args.timeout)
+    except ChaosError as err:
+        print("chaos harness error: %s" % err, file=sys.stderr)
+        return 2
 
 
 def cmd_cache(args):
@@ -322,7 +431,10 @@ def main(argv=None):
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("campaign", help="run a named extra campaign")
-    p.add_argument("name", choices=["churn"])
+    p.add_argument("name", choices=["churn", "resume"])
+    p.add_argument("dir", nargs="?", default=None,
+                   help="campaign directory (for 'resume': the directory "
+                        "holding manifest.jsonl)")
     p.add_argument("--paper-scale", action="store_true")
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--trials", type=int, default=None)
@@ -333,8 +445,50 @@ def main(argv=None):
     p.add_argument("--gzip", action="store_true",
                    help="gzip-compress trace artifacts (*.trace.jsonl.gz); "
                         "readers accept both forms transparently")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="journal the campaign under DIR (manifest.jsonl + "
+                        "cache/ + traces/): crash-tolerant, interruptible "
+                        "with SIGINT/SIGTERM, resumable with "
+                        "'repro campaign resume DIR'")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a trial's first failure "
+                        "(default 1)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-trial wall-clock deadline in seconds, "
+                        "enforced inside the worker")
+    p.add_argument("--quarantine-after", type=int, default=None,
+                   metavar="N",
+                   help="quarantine a trial after N failed attempts "
+                        "(reported in the table, not campaign-fatal) "
+                        "instead of failing the campaign")
+    p.add_argument("--stall-timeout", type=float, default=None,
+                   help="seconds before an unresponsive worker is "
+                        "presumed wedged and the pool is recycled "
+                        "(default: derived from --timeout)")
     _add_exec_args(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash-tolerance self-test: kill workers and the driver "
+             "mid-campaign, corrupt journal/cache/trace bytes, resume, "
+             "and assert byte-identical results",
+    )
+    p.add_argument("dir", nargs="?", default=None,
+                   help="working directory for the clean and chaos "
+                        "campaign dirs (default: a fresh temp dir)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes for both runs (default 2)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for the fault-choice RNG ('exec' stream)")
+    p.add_argument("--trials", type=int, default=2,
+                   help="seeds per (protocol) cell of the healthy grid")
+    p.add_argument("--duration", type=float, default=6.0,
+                   help="sim duration of the healthy trials (seconds)")
+    p.add_argument("--timeout", type=float, default=20.0,
+                   help="per-trial deadline; the poison trial blows it "
+                        "deterministically every attempt")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("--cache-dir", default=None,

@@ -8,8 +8,16 @@ callback.  Results are bit-identical to a serial in-process loop.
 
 * :mod:`repro.exec.engine` — :class:`CampaignEngine` and result types.
 * :mod:`repro.exec.cache` — :class:`ResultCache` and the key scheme.
+* :mod:`repro.exec.manifest` — the append-only campaign journal and the
+  :func:`start_campaign` / :func:`resume_campaign` entry points that make
+  campaigns crash-tolerant and resumable.
 * :mod:`repro.exec.worker` — the per-trial unit of work.
+* :mod:`repro.exec.deadline` — portable in-worker per-trial deadlines.
+* :mod:`repro.exec.supervise` — retry/backoff/quarantine policy and stall
+  budgets (jitter from the dedicated ``'exec'`` RNG stream).
 * :mod:`repro.exec.progress` — progress snapshots and console rendering.
+* :mod:`repro.exec.chaos` — the fault-injecting self-test behind
+  ``repro chaos``.
 """
 
 from repro.exec.cache import (
@@ -19,13 +27,22 @@ from repro.exec.cache import (
     default_cache_dir,
     trial_key,
 )
+from repro.exec.deadline import TrialTimeout, call_with_deadline
 from repro.exec.engine import (
     CampaignEngine,
     CampaignError,
     CampaignResult,
     TrialResult,
 )
+from repro.exec.manifest import (
+    CampaignManifest,
+    ManifestError,
+    campaign_paths,
+    resume_campaign,
+    start_campaign,
+)
 from repro.exec.progress import Progress, console_progress, format_progress
+from repro.exec.supervise import RetryPolicy, backoff_delay, stall_budget
 from repro.exec.worker import run_trial_config, run_trial_payload
 
 __all__ = [
@@ -33,14 +50,24 @@ __all__ = [
     "CACHE_SCHEMA",
     "CampaignEngine",
     "CampaignError",
+    "CampaignManifest",
     "CampaignResult",
+    "ManifestError",
     "Progress",
     "ResultCache",
+    "RetryPolicy",
     "TrialResult",
+    "TrialTimeout",
+    "backoff_delay",
+    "call_with_deadline",
+    "campaign_paths",
     "console_progress",
     "default_cache_dir",
     "format_progress",
+    "resume_campaign",
     "run_trial_config",
     "run_trial_payload",
+    "stall_budget",
+    "start_campaign",
     "trial_key",
 ]

@@ -89,17 +89,38 @@ class ResultCache:
         suffix = ".trace.jsonl.gz" if gzipped else ".trace.jsonl"
         return self.root / key[:2] / (key + suffix)
 
-    def get(self, key):
-        """The cached row for ``key``, or None (corrupt entries = miss)."""
+    def lookup(self, key):
+        """``(row, note)`` for ``key``.
+
+        ``row`` is None on a miss.  ``note`` is a warning string when the
+        entry *existed* but was unreadable — truncated JSON, a torn write
+        from a killed process, a schema-shaped payload without a row —
+        which is treated as a miss (the trial simply re-executes) but
+        must be surfaced, not swallowed: silent corruption that always
+        re-executes looks exactly like a cold cache.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
             row = doc["row"]
-        except (OSError, ValueError, KeyError, TypeError):
+            if not isinstance(row, dict):
+                raise TypeError("row payload is %s, expected an object"
+                                % type(row).__name__)
+        except FileNotFoundError:
             self.misses += 1
-            return None
+            return None, None
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            self.misses += 1
+            return None, (
+                "corrupt cache entry %s (%s: %s); treating as a miss"
+                % (path.name, type(err).__name__, err))
         self.hits += 1
-        return row
+        return row, None
+
+    def get(self, key):
+        """The cached row for ``key``, or None (corrupt entries = miss)."""
+        return self.lookup(key)[0]
 
     def put(self, key, row, config=None):
         """Store ``row`` under ``key`` atomically.

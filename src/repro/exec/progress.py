@@ -18,10 +18,10 @@ class Progress:
     """
 
     __slots__ = ("total", "done", "executed", "cached", "failed", "elapsed",
-                 "note")
+                 "note", "quarantined")
 
     def __init__(self, total, done, executed, cached, failed, elapsed,
-                 note=None):
+                 note=None, quarantined=0):
         self.total = total
         self.done = done
         self.executed = executed
@@ -29,6 +29,7 @@ class Progress:
         self.failed = failed
         self.elapsed = elapsed
         self.note = note
+        self.quarantined = quarantined
 
     @property
     def remaining(self):
@@ -47,18 +48,27 @@ class Progress:
 
     def __repr__(self):
         return (
-            "Progress(done=%d/%d, executed=%d, cached=%d, failed=%d)"
-            % (self.done, self.total, self.executed, self.cached, self.failed)
+            "Progress(done=%d/%d, executed=%d, cached=%d, failed=%d, "
+            "quarantined=%d)"
+            % (self.done, self.total, self.executed, self.cached, self.failed,
+               self.quarantined)
         )
 
 
 def format_progress(progress):
-    """One status line: ``trials 12/48  run 8  cached 4  failed 0  eta 31s``."""
+    """One status line: ``trials 12/48  run 8  cached 4  failed 0  eta 31s``.
+
+    A ``quarantined`` count appears only when nonzero — healthy campaigns
+    keep the familiar short line.
+    """
     eta = progress.eta
     eta_text = "--" if eta is None else "%ds" % round(eta)
-    return "trials %d/%d  run %d  cached %d  failed %d  eta %s" % (
+    quarantine = ""
+    if getattr(progress, "quarantined", 0):
+        quarantine = "  quarantined %d" % progress.quarantined
+    return "trials %d/%d  run %d  cached %d  failed %d%s  eta %s" % (
         progress.done, progress.total, progress.executed,
-        progress.cached, progress.failed, eta_text,
+        progress.cached, progress.failed, quarantine, eta_text,
     )
 
 

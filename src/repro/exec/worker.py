@@ -4,17 +4,20 @@
 data (a serialized :class:`ScenarioConfig` plus options), so process pools
 can ship it with any start method and the dispatch format never depends on
 pickle internals.  It never raises: failures — including per-trial
-timeouts, enforced with ``SIGALRM`` inside the worker so a wedged
-simulation cannot stall the whole campaign — come back as ``{"ok": False,
-"error": ...}`` outcomes for the engine to retry or report.
+deadlines, enforced portably inside the worker (see
+:mod:`repro.exec.deadline`) so a wedged simulation cannot stall the whole
+campaign — come back as ``{"ok": False, "error": ...}`` outcomes for the
+engine to retry, quarantine, or report.  Outcomes carry the worker's pid
+so the campaign journal can attribute attempts to processes.
 """
 
 import os
-import signal
-import threading
-import traceback
 
+from repro.exec.deadline import TrialTimeout, call_with_deadline
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+__all__ = ["CHANNEL_INDEX_ENV", "TrialTimeout", "run_trial_config",
+           "run_trial_payload"]
 
 #: Environment override forcing every trial onto one spatial-index
 #: backend ("grid"/"scan") regardless of what the dispatched config says.
@@ -28,42 +31,19 @@ from repro.experiments.scenario import ScenarioConfig, run_scenario
 CHANNEL_INDEX_ENV = "REPRO_CHANNEL_INDEX"
 
 
-class TrialTimeout(Exception):
-    """Raised inside a worker when a trial exceeds its wall-clock budget."""
-
-
-def _on_alarm(signum, frame):
-    raise TrialTimeout()
-
-
 def _run_guarded(trial_fn, timeout):
     """Run ``trial_fn`` under an optional wall-clock budget.
 
     Returns ``{"ok": True, "row": ...}`` or ``{"ok": False, "error":
-    traceback-text}``; never raises.  SIGALRM only works on POSIX main
-    threads; elsewhere (Windows, or an engine driven from a helper thread)
-    trials simply run untimed.
+    traceback-text}`` — possibly with a ``"warning"`` when the deadline
+    fired but the trial thread could not be hard-cancelled; never raises.
+    ``"worker"`` carries this process's pid either way.
     """
-    timeout = timeout or 0.0
-    use_alarm = (
-        timeout > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    previous = None
-    if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
-        return {"ok": True, "row": trial_fn()}
-    except TrialTimeout:
-        return {"ok": False, "error": "trial timed out after %gs" % timeout}
-    except Exception:
-        return {"ok": False, "error": traceback.format_exc(limit=20)}
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
+    outcome = call_with_deadline(trial_fn, timeout)
+    if outcome["ok"]:
+        outcome["row"] = outcome.pop("value")
+    outcome["worker"] = os.getpid()
+    return outcome
 
 
 def run_trial_payload(payload):

@@ -83,7 +83,8 @@ class Campaign:
                  num_nodes_small=None, num_nodes_large=None,
                  jobs=1, use_cache=False, cache_dir=None,
                  retries=1, timeout=None, progress=None, trace_dir=None,
-                 trace_gzip=False):
+                 trace_gzip=False, journal=None, quarantine_after=None,
+                 backoff_base=0.05, backoff_cap=30.0, stall_timeout=None):
         self.paper_scale = paper_scale
         if paper_scale:
             self.duration = duration or 900.0
@@ -105,6 +106,15 @@ class Campaign:
         # tracing; see CampaignEngine.trace_dir / trace_gzip.
         self.trace_dir = trace_dir
         self.trace_gzip = trace_gzip
+        # Journaled (crash-tolerant, resumable) execution: the campaign
+        # directory holding manifest.jsonl + cache/ + traces/, or None
+        # for a classic unjournaled run.  See repro.exec.manifest.
+        self.journal = journal
+        # Supervision knobs, forwarded to the engine's RetryPolicy.
+        self.quarantine_after = quarantine_after
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.stall_timeout = stall_timeout
 
     def pauses(self):
         return pause_sweep(self.duration, self.paper_scale)
@@ -113,7 +123,7 @@ class Campaign:
         return range(1, self.trials + 1)
 
     def engine(self, progress=None):
-        """Build the campaign's :class:`CampaignEngine`."""
+        """Build the campaign's :class:`CampaignEngine` (unjournaled)."""
         from repro.exec import CampaignEngine, ResultCache
 
         cache = ResultCache(self.cache_dir) if self.use_cache else None
@@ -121,6 +131,9 @@ class Campaign:
             jobs=self.jobs, cache=cache, retries=self.retries,
             timeout=self.timeout, progress=progress or self.progress,
             trace_dir=self.trace_dir, trace_gzip=self.trace_gzip,
+            quarantine_after=self.quarantine_after,
+            backoff_base=self.backoff_base, backoff_cap=self.backoff_cap,
+            stall_timeout=self.stall_timeout,
         )
 
 
@@ -206,55 +219,160 @@ def churn_grid(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
     return labels, configs
 
 
-def churn_table(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
-    """Run the churn grid and aggregate per (fault plan, protocol).
+def run_churn(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
+    """Execute the churn grid; returns ``(labels, result, manifest)``.
+
+    With ``campaign.journal`` unset this is a classic in-memory run
+    (``manifest`` is None).  With a journal directory the campaign is
+    crash-tolerant: a fresh directory is started (grid labels stored in
+    the manifest meta so a later ``repro campaign resume`` can re-render
+    the table), an existing one is *resumed* — finished trials come back
+    from the campaign cache and only outstanding work executes, with the
+    merged result byte-identical to an uninterrupted run.
+    """
+    labels, configs = churn_grid(campaign, protocols, num_flows)
+    if campaign.journal is None:
+        return labels, campaign.engine().run(configs), None
+    import pathlib
+
+    from repro.exec.manifest import (
+        campaign_paths,
+        resume_campaign,
+        start_campaign,
+    )
+
+    root = pathlib.Path(campaign.journal)
+    manifest_path, _, _ = campaign_paths(root)
+    if manifest_path.exists():
+        manifest, result = resume_campaign(
+            root, progress=campaign.progress, jobs=campaign.jobs)
+        meta_labels = manifest.header.get("meta", {}).get("labels")
+        if meta_labels is not None:
+            labels = [tuple(label) for label in meta_labels]
+        return labels, result, manifest
+    manifest, engine = start_campaign(
+        root, configs, name="churn",
+        meta={"labels": [list(label) for label in labels],
+              "protocols": list(protocols), "num_flows": num_flows},
+        jobs=campaign.jobs, retries=campaign.retries,
+        timeout=campaign.timeout,
+        quarantine_after=campaign.quarantine_after,
+        backoff_base=campaign.backoff_base,
+        backoff_cap=campaign.backoff_cap,
+        stall_timeout=campaign.stall_timeout,
+        trace=campaign.trace_dir is not None,
+        trace_gzip=campaign.trace_gzip,
+        progress=campaign.progress)
+    return labels, engine.run(configs), manifest
+
+
+def aggregate_churn(labels, result):
+    """Aggregate a churn result per (fault plan, protocol) bucket.
 
     Delivery ratio and control overhead are averaged over trials;
     violation counts are summed — a single loop anywhere in the campaign
     should be visible, not averaged away.
+
+    Tolerates partial coverage: trials without a row (quarantined poison
+    trials, or work still outstanding after an interruption) reduce the
+    bucket's ``trials``/``coverage`` instead of crashing aggregation, and
+    metric fields are None for buckets with no completed trial at all.
+    Coverage degradation is explicit in every row, never silent.
     """
-    labels, configs = churn_grid(campaign, protocols, num_flows)
-    rows = campaign.engine().run_rows(configs)
+    order = []
     buckets = {}
-    for label, row in zip(labels, rows):
-        buckets.setdefault(label, []).append(row)
+    for label, trial in zip(labels, result.trials):
+        label = tuple(label)
+        if label not in buckets:
+            buckets[label] = {"rows": [], "planned": 0, "quarantined": 0}
+            order.append(label)
+        bucket = buckets[label]
+        bucket["planned"] += 1
+        if trial.ok:
+            bucket["rows"].append(trial.row)
+        elif trial.quarantined:
+            bucket["quarantined"] += 1
     table = []
-    for fault_name, _ in churn_plans(campaign.duration,
-                                     campaign.num_nodes_small):
-        for protocol in protocols:
-            trials = buckets[(fault_name, protocol)]
-            n = len(trials)
-            table.append({
-                "fault": fault_name,
-                "protocol": protocol,
-                "trials": n,
-                "delivery_ratio":
-                    sum(r["delivery_ratio"] for r in trials) / n,
-                "network_load":
-                    sum(r["network_load"] for r in trials) / n,
-                "control_transmissions":
-                    sum(r["control_transmissions"] for r in trials) / n,
-                "loop_violations":
-                    sum(r["loop_violations"] for r in trials),
-                "invariant_violations":
-                    sum(r["invariant_violations"] for r in trials),
-            })
+    for fault_name, protocol in order:
+        bucket = buckets[(fault_name, protocol)]
+        rows = bucket["rows"]
+        n = len(rows)
+        planned = bucket["planned"]
+
+        def mean(field, rows=rows, n=n):
+            return sum(r[field] for r in rows) / n if n else None
+
+        table.append({
+            "fault": fault_name,
+            "protocol": protocol,
+            "trials": n,
+            "planned": planned,
+            "quarantined": bucket["quarantined"],
+            "coverage": (n / planned) if planned else 1.0,
+            "delivery_ratio": mean("delivery_ratio"),
+            "network_load": mean("network_load"),
+            "control_transmissions": mean("control_transmissions"),
+            "loop_violations": sum(r["loop_violations"] for r in rows),
+            "invariant_violations":
+                sum(r["invariant_violations"] for r in rows),
+        })
     return table
 
 
+def churn_table(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
+    """Run the churn grid and aggregate per (fault plan, protocol).
+
+    Raises :class:`~repro.exec.engine.CampaignError` when trials failed
+    outright (exhausted retries without quarantine); quarantined trials
+    only degrade the table's coverage columns.
+    """
+    labels, result, _ = run_churn(campaign, protocols, num_flows)
+    failures = result.failures()
+    if failures:
+        from repro.exec.engine import CampaignError
+
+        raise CampaignError(failures)
+    return aggregate_churn(labels, result)
+
+
 def format_churn(table):
-    """Render the churn table the way the paper renders Table 1."""
+    """Render the churn table the way the paper renders Table 1.
+
+    Fully covered tables keep the classic compact layout; as soon as any
+    bucket lost trials (quarantine, interruption) a ``cov`` column
+    appears showing ``completed/planned`` per bucket, and bucket metrics
+    without any completed trial render as ``--``.
+    """
+    degraded = any(row.get("coverage", 1.0) < 1.0 for row in table)
     header = ("{:<11}{:<7}{:>10}{:>12}{:>12}{:>7}{:>11}".format(
         "fault", "proto", "delivery", "ctl/data", "ctl-tx", "loops",
         "invariant"))
+    if degraded:
+        header += "{:>8}".format("cov")
     lines = [header, "-" * len(header)]
     previous_fault = None
     for row in table:
         if previous_fault is not None and row["fault"] != previous_fault:
             lines.append("")
         previous_fault = row["fault"]
-        lines.append("{:<11}{:<7}{:>10.3f}{:>12.2f}{:>12.1f}{:>7d}{:>11d}".format(
-            row["fault"], row["protocol"], row["delivery_ratio"],
-            row["network_load"], row["control_transmissions"],
-            row["loop_violations"], row["invariant_violations"]))
+        if row["trials"]:
+            line = ("{:<11}{:<7}{:>10.3f}{:>12.2f}{:>12.1f}{:>7d}{:>11d}"
+                    .format(row["fault"], row["protocol"],
+                            row["delivery_ratio"], row["network_load"],
+                            row["control_transmissions"],
+                            row["loop_violations"],
+                            row["invariant_violations"]))
+        else:
+            line = ("{:<11}{:<7}{:>10}{:>12}{:>12}{:>7}{:>11}"
+                    .format(row["fault"], row["protocol"],
+                            "--", "--", "--", "--", "--"))
+        if degraded:
+            line += "{:>8}".format(
+                "%d/%d" % (row["trials"], row.get("planned", row["trials"])))
+        lines.append(line)
+    quarantined = sum(row.get("quarantined", 0) for row in table)
+    if quarantined:
+        lines.append("")
+        lines.append("quarantined: %d trial(s) set aside after repeated "
+                     "failure (see the campaign journal)" % quarantined)
     return "\n".join(lines)

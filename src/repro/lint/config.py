@@ -28,9 +28,16 @@ from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 #: ``obs`` too: the trace recorder observes simulated events and its
 #: output must be byte-identical under a seed (only ``obs/profile.py``
 #: is allowlisted for wall-clock reads, and timers stay out of traces).
+#: ``exec`` joined when campaign supervision gained randomized retry
+#: backoff: result rows must stay byte-identical however many retries or
+#: resumes a trial survives, so exec's randomness is confined to the
+#: registered ``exec`` stream (jitter, chaos fault choices) and ambient
+#: ``random`` use is banned there like everywhere else; its wall-clock
+#: reads (progress ETAs, stall budgets, journal stamps) stay allowlisted
+#: under RL002 because they are host facts kept out of result identity.
 DETERMINISTIC_LAYERS: FrozenSet[str] = frozenset(
     {"sim", "net", "protocols", "routing", "mobility", "traffic", "core",
-     "faults", "obs", "verify"}
+     "faults", "obs", "verify", "exec"}
 )
 
 #: Layers that may define RoutingProtocol subclasses subject to the
@@ -44,9 +51,12 @@ CONFORMANCE_LAYERS: FrozenSet[str] = frozenset({"protocols", "core"})
 #: adding one extra draw in mobility must never perturb protocol
 #: behaviour).  Keys ending in ``.`` are prefixes for per-entity streams
 #: (``mac.<node>``, ``proto.<node>``, ``olsr.<node>``).  Host-side layers
-#: (``experiments``, ``bench``, ``exec``) sit outside DETERMINISTIC_LAYERS
-#: and are not patrolled: they *construct* the simulated world and hand
-#: streams to the layers that own them.
+#: (``experiments``, ``bench``) sit outside DETERMINISTIC_LAYERS and are
+#: not patrolled: they *construct* the simulated world and hand streams
+#: to the layers that own them.  ``exec`` is patrolled and owns the
+#: ``exec`` stream (retry-backoff jitter, chaos fault choices) — a
+#: simulation layer acquiring it would couple simulated behaviour to
+#: host-side scheduling, exactly the leak RL2xx exists to reject.
 STREAM_LAYERS: Mapping[str, Tuple[str, ...]] = {
     "mobility": ("mobility",),
     "traffic": ("traffic",),
@@ -55,6 +65,7 @@ STREAM_LAYERS: Mapping[str, Tuple[str, ...]] = {
     "proto.": ("routing", "protocols", "core"),
     "olsr.": ("protocols",),
     "faults": ("faults",),
+    "exec": ("exec",),
 }
 
 #: Routing-state fields whose assignment must be dominated by a

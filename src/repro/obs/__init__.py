@@ -22,7 +22,7 @@ package provides it:
 
 from repro.obs.events import EVENT_KINDS, SCHEMA_VERSION, TraceEvent, jsonable
 from repro.obs.profile import Profiler
-from repro.obs.reader import TraceError, iter_trace, read_trace
+from repro.obs.reader import TraceError, iter_trace, read_trace, trace_ok
 from repro.obs.recorder import POLICIES, TraceRecorder
 from repro.obs.writer import JsonlTraceWriter, trace_header, write_trace
 
@@ -39,5 +39,6 @@ __all__ = [
     "jsonable",
     "read_trace",
     "trace_header",
+    "trace_ok",
     "write_trace",
 ]

@@ -8,6 +8,7 @@ file name, so renamed artifacts still read.
 import gzip
 import io
 import json
+import zlib
 
 from repro.obs.events import SCHEMA_VERSION, TraceEvent
 
@@ -86,3 +87,25 @@ def read_trace(path):
     stream = iter_trace(path)
     header = next(stream)
     return header, list(stream)
+
+
+def trace_ok(path):
+    """``(ok, reason)``: does ``path`` parse end-to-end as a trace?
+
+    The campaign engine calls this before serving a cached trial whose
+    trace artifact exists: a truncated tail, bad gzip stream, or
+    schema-mismatched header means the artifact cannot certify anything,
+    so the trial is re-executed (a cache miss) instead of the corruption
+    surfacing later as a verify/replay failure.  ``reason`` names the
+    defect when ``ok`` is False.
+    """
+    try:
+        for _ in iter_trace(path):
+            pass
+    except TraceError as err:
+        return False, str(err)
+    except (OSError, EOFError, zlib.error) as err:
+        # gzip streams fail with EOFError / zlib.error / BadGzipFile
+        # (an OSError) when the payload is torn mid-member.
+        return False, "%s: %s" % (type(err).__name__, err)
+    return True, None

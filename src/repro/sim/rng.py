@@ -20,10 +20,21 @@ Registered stream names
                     removing faults never shifts the mobility, traffic, or
                     backoff sequences of the underlying scenario, and the
                     same ``(seed, plan)`` pair replays byte-identically
+``exec``            host-side campaign supervision: retry-backoff jitter
+                    (seeded per trial key) and chaos-harness fault
+                    choices.  This stream lives *outside* the simulated
+                    world — no simulation component may touch it, and no
+                    draw from it can perturb result bytes: a retried
+                    trial re-runs from its own scenario seed, so rows are
+                    identical whether a trial succeeded on attempt 1 or
+                    attempt N
 
 Components must obtain streams through ``Simulator.stream(name)``; the
 lint rules (RL001/RL002) reject direct ``random``/clock use inside the
-deterministic layers, including ``faults``.
+deterministic layers, including ``faults``.  The ``exec`` stream is the
+one exception to ``Simulator.stream()`` acquisition: the campaign engine
+builds it directly from :class:`RngStreams` because it runs where no
+simulator exists.
 """
 
 from __future__ import annotations

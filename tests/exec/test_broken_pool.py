@@ -28,6 +28,9 @@ class _ExplodingPool:
     def __exit__(self, *exc):
         return False
 
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
     def submit(self, fn, *args, **kwargs):
         future = Future()
         future.set_exception(BrokenProcessPool("worker died hard"))
@@ -48,8 +51,12 @@ def test_broken_pool_finishes_in_process_and_warns(monkeypatch):
     assert all(t.ok for t in result.trials)
     # The warning is user-visible both on the engine and in the stream
     # of progress snapshots (as a note that survives status overwrites).
-    assert len(engine.warnings) == 1
-    assert "worker pool broke" in engine.warnings[0]
+    # The pool is respawned once before the engine degrades, so two
+    # breakdown warnings are expected: respawn, then in-process fallback.
+    assert len(engine.warnings) == 2
+    assert "respawning pool" in engine.warnings[0]
+    assert "finishing 3 trial(s) in-process" in engine.warnings[1]
+    assert all("worker pool broke" in w for w in engine.warnings)
     notes = [s.note for s in snapshots if s.note]
     assert any("worker pool broke" in note for note in notes)
 

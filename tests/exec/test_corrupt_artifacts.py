@@ -1,0 +1,143 @@
+"""Corrupt cache entries and trace artifacts: miss + warning, never crash."""
+
+import gzip
+import json
+
+from repro.exec.cache import ResultCache, trial_key
+from repro.exec.engine import CampaignEngine
+from repro.experiments.scenario import ScenarioConfig
+from repro.obs import trace_ok
+
+
+def _config(seed=1):
+    return ScenarioConfig(num_nodes=8, num_flows=2, duration=5.0, seed=seed)
+
+
+def _warm_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    config = _config()
+    rows = CampaignEngine(cache=cache).run_rows([config])
+    return cache, config, rows[0]
+
+
+# -- cache entries -----------------------------------------------------
+
+
+def test_truncated_json_entry_is_a_miss_with_warning(tmp_path):
+    cache, config, row = _warm_cache(tmp_path)
+    key = trial_key(config)
+    path = cache._path(key)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    got, note = cache.lookup(key)
+    assert got is None
+    assert "corrupt cache entry" in note
+    assert "treating as a miss" in note
+
+
+def test_wrong_shape_entry_is_a_miss_with_warning(tmp_path):
+    cache, config, row = _warm_cache(tmp_path)
+    key = trial_key(config)
+    # Parseable JSON, but the row payload is not an object.
+    cache._path(key).write_text(json.dumps({"key": key, "row": [1, 2]}))
+    got, note = cache.lookup(key)
+    assert got is None
+    assert "corrupt cache entry" in note
+
+    # Schema-shaped but missing the row entirely.
+    cache._path(key).write_text(json.dumps({"key": key}))
+    got, note = cache.lookup(key)
+    assert got is None
+    assert note is not None
+
+
+def test_plain_miss_has_no_warning(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    got, note = cache.lookup("ab" * 32)
+    assert got is None and note is None
+
+
+def test_engine_reexecutes_corrupt_entry_and_warns(tmp_path):
+    cache, config, row = _warm_cache(tmp_path)
+    path = cache._path(trial_key(config))
+    path.write_bytes(b'{"torn":')
+    notes = []
+    engine = CampaignEngine(
+        cache=cache,
+        progress=lambda p: notes.append(p.note) if p.note else None)
+    result = engine.run([config])
+    # Same bytes as the original row: corruption cost a re-execution,
+    # not correctness — and it was loudly reported.
+    assert result.rows() == [row]
+    assert result.executed == 1 and result.cached == 0
+    assert any("corrupt cache entry" in n for n in engine.warnings)
+    assert any("corrupt cache entry" in n for n in notes)
+    # The re-execution healed the cache in place.
+    assert cache.get(trial_key(config)) == row
+
+
+# -- trace artifacts ---------------------------------------------------
+
+
+def _traced_engine(tmp_path, cache):
+    return CampaignEngine(cache=cache, trace_dir=tmp_path / "traces")
+
+
+def test_trace_ok_rejects_truncated_and_accepts_intact(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    config = _config()
+    engine = _traced_engine(tmp_path, cache)
+    result = engine.run([config])
+    artifact = engine._trace_path(result.trials[0])
+    ok, reason = trace_ok(artifact)
+    assert ok and reason is None
+    artifact.write_bytes(
+        artifact.read_bytes()[: artifact.stat().st_size // 2])
+    ok, reason = trace_ok(artifact)
+    assert not ok and reason
+
+
+def test_trace_ok_rejects_bad_gzip_payload(tmp_path):
+    path = tmp_path / "x.trace.jsonl.gz"
+    # Correct gzip magic, torn member: the reader must flag it, not raise.
+    intact = gzip.compress(b'{"type":"header","schema":99}\n')
+    path.write_bytes(intact[: len(intact) // 2])
+    ok, reason = trace_ok(path)
+    assert not ok and reason
+
+
+def test_trace_ok_rejects_schema_mismatch(tmp_path):
+    path = tmp_path / "x.trace.jsonl"
+    path.write_text('{"type": "header", "schema": 9999}\n')
+    ok, reason = trace_ok(path)
+    assert not ok
+    assert "schema" in reason
+
+
+def test_engine_reexecutes_when_trace_artifact_is_torn(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    config = _config()
+    engine = _traced_engine(tmp_path, cache)
+    first = engine.run([config])
+    artifact = engine._trace_path(first.trials[0])
+    original = artifact.read_bytes()
+    artifact.write_bytes(original[: len(original) // 2])
+
+    engine = _traced_engine(tmp_path, cache)
+    second = engine.run([config])
+    # Cached row exists, but a torn artifact cannot certify it: the
+    # trial re-executes and rewrites an identical artifact.
+    assert second.executed == 1 and second.cached == 0
+    assert any("corrupt trace artifact" in n for n in engine.warnings)
+    assert second.rows() == first.rows()
+    assert artifact.read_bytes() == original
+
+
+def test_engine_serves_cache_when_trace_artifact_is_intact(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    config = _config()
+    engine = _traced_engine(tmp_path, cache)
+    engine.run([config])
+    engine = _traced_engine(tmp_path, cache)
+    again = engine.run([config])
+    assert again.cached == 1 and again.executed == 0
+    assert engine.warnings == []
