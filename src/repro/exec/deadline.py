@@ -24,8 +24,14 @@ import traceback
 CANCEL_GRACE = 1.0
 
 
-class TrialTimeout(Exception):
-    """Raised inside a trial when it exceeds its wall-clock budget."""
+class TrialTimeout(BaseException):
+    """Raised inside a trial when it exceeds its wall-clock budget.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so a
+    broad ``except Exception`` inside trial code cannot absorb the
+    async-raised cancellation and keep running past the deadline; only
+    the ``target()`` wrapper in :func:`call_with_deadline` catches it.
+    """
 
 
 def _set_async_exc():

@@ -19,9 +19,11 @@ byte-identical to an uninterrupted run.
 
 Every record is one JSON line, flushed and fsynced before the engine acts
 on it, so a SIGKILL at any instant leaves at worst one torn final line.
-Loading tolerates exactly that: a partial *last* line is dropped (the
-transition it described simply re-executes); a broken line anywhere else
-is real corruption and raises :class:`ManifestError`.
+Loading tolerates exactly that: a partial *last* line is dropped and the
+file is truncated back to the last committed record (the transition the
+torn line described simply re-executes), so appends after a resume always
+start on a clean line; a broken line anywhere else is real corruption and
+raises :class:`ManifestError`.
 """
 
 import json
@@ -57,6 +59,14 @@ class ManifestError(ValueError):
 
 def _dumps(doc):
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _truncate_to(path, size):
+    """Cut the journal back to ``size`` bytes and commit the repair."""
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 class TrialEntry:
@@ -139,30 +149,45 @@ class CampaignManifest:
         """Parse a journal, reducing transitions to per-trial state.
 
         A torn final line (the signature a SIGKILL or a truncated tail
-        leaves) is dropped — the transition it described re-executes — and
-        ``torn_tail`` is set so callers can surface it.  Unreadable lines
-        anywhere else raise :class:`ManifestError`.
+        leaves) is dropped — the transition it described re-executes — the
+        file is truncated back to the end of the last committed record so
+        later appends start on a clean line, and ``torn_tail`` is set so
+        callers can surface it.  Unreadable lines anywhere else raise
+        :class:`ManifestError`.
         """
         path = pathlib.Path(path)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                raw_lines = handle.read().splitlines()
+            raw = path.read_bytes()
         except OSError as err:
             raise ManifestError("cannot read journal %s: %s" % (path, err))
-        lines = [(n, line) for n, line in enumerate(raw_lines, start=1)
-                 if line.strip()]
+        # Split by hand, keeping each line's starting byte offset so a
+        # torn tail can be truncated away rather than merely skipped —
+        # skipping alone would let the next append merge onto the partial
+        # line and corrupt the journal mid-file.
+        lines = []  # (lineno, start byte offset, line bytes); non-blank
+        pos = 0
+        lineno = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            end = len(raw) if newline < 0 else newline
+            chunk = raw[pos:end]
+            lineno += 1
+            if chunk.strip():
+                lines.append((lineno, pos, chunk))
+            pos = end + 1
         if not lines:
             raise ManifestError("%s: empty journal" % path)
         docs = []
         torn_tail = False
-        for position, (lineno, line) in enumerate(lines):
+        for position, (lineno, start, chunk) in enumerate(lines):
             try:
-                doc = json.loads(line)
+                doc = json.loads(chunk.decode("utf-8"))
                 if not isinstance(doc, dict) or "type" not in doc:
                     raise ValueError("not a journal record")
-            except ValueError as err:
+            except ValueError as err:  # UnicodeDecodeError included
                 if position == len(lines) - 1:
-                    torn_tail = True  # torn tail: drop the record
+                    torn_tail = True  # torn tail: drop and repair
+                    _truncate_to(path, start)
                     break
                 raise ManifestError(
                     "%s:%d: unreadable journal record: %s"
@@ -218,7 +243,20 @@ class CampaignManifest:
 
     def _append(self, doc):
         if self._handle is None:
+            # A crash can commit a record's bytes but not its newline:
+            # the line parses on load (so it must be kept, not truncated)
+            # yet appending straight after it would merge two records.
+            # Start a fresh line in that case.
+            unterminated = False
+            try:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    unterminated = tail.read(1) != b"\n"
+            except OSError:
+                pass  # missing or empty file: nothing to terminate
             self._handle = open(self.path, "a", encoding="utf-8")
+            if unterminated:
+                self._handle.write("\n")
         self._handle.write(_dumps(doc) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -236,7 +274,8 @@ class CampaignManifest:
         if error is not None:
             # The last traceback line is plenty for the journal; the full
             # text stays on the TrialResult.
-            doc["error"] = str(error).strip().splitlines()[-1][:500]
+            tail = str(error).strip().splitlines()
+            doc["error"] = (tail[-1] if tail else "(no error text)")[:500]
         if cached:
             doc["cached"] = True
         self._append(doc)

@@ -62,6 +62,28 @@ def test_timeout_is_cancellable_inside_pure_python_loops():
     assert cancelled.wait(5.0), "TrialTimeout never landed in the loop"
 
 
+def test_trial_timeout_is_not_an_ordinary_exception():
+    # Like KeyboardInterrupt: `except Exception` in trial code must not
+    # be able to absorb the async-raised cancellation.
+    assert issubclass(TrialTimeout, BaseException)
+    assert not issubclass(TrialTimeout, Exception)
+
+
+def test_broad_except_exception_cannot_swallow_cancellation():
+    def stubborn():
+        while True:
+            try:
+                sum(range(1000))
+            except Exception:
+                pass  # would eat an Exception-derived cancellation
+
+    outcome = call_with_deadline(stubborn, 0.2)
+    assert outcome["ok"] is False
+    assert "timed out" in outcome["error"]
+    # The cancellation escaped the broad handler and ended the thread.
+    assert "warning" not in outcome
+
+
 def test_uncancellable_overrun_carries_explicit_warning(monkeypatch):
     # Simulate a runtime without PyThreadState_SetAsyncExc (or a thread
     # wedged in C): the deadline must still report on time, flagged.

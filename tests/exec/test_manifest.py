@@ -76,6 +76,69 @@ def test_torn_final_line_is_dropped_not_fatal(tmp_path):
     assert loaded.entries[1].state == "pending"  # torn record re-derives
 
 
+def test_append_after_torn_tail_repairs_and_survives_reload(tmp_path):
+    # Tear the tail, resume with multiple transitions, load again:
+    # without the load-time truncation the first append merges onto the
+    # partial line (and is silently dropped as a new torn tail), and the
+    # second turns the merged line into fatal mid-file corruption.
+    manifest, path = _fresh(tmp_path)
+    manifest.record_state(0, DONE, attempt=1)
+    manifest.close()
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"type":"state","index":1,"sta')  # SIGKILL mid-append
+    loaded = CampaignManifest.load(path)
+    assert loaded.torn_tail
+    loaded.record_state(1, RUNNING, attempt=1)
+    loaded.record_state(1, DONE, attempt=1)
+    loaded.record_state(2, FAILED, attempt=1, error="boom")
+    loaded.close()
+    again = CampaignManifest.load(path)
+    assert not again.torn_tail  # the torn line was truncated away
+    assert again.entries[0].state == DONE
+    assert again.entries[1].state == DONE
+    assert again.entries[2].state == FAILED
+
+
+def test_load_truncates_torn_tail_back_to_committed_records(tmp_path):
+    manifest, path = _fresh(tmp_path)
+    manifest.record_state(0, DONE, attempt=1)
+    manifest.close()
+    intact = path.read_bytes()
+    with open(path, "ab") as fh:
+        fh.write(b'{"type":"state","index":1,"sta')
+    CampaignManifest.load(path)
+    assert path.read_bytes() == intact
+
+
+def test_append_after_unterminated_final_line_starts_fresh(tmp_path):
+    # A crash can commit a record's bytes but not its newline: the line
+    # parses on load and must be kept, yet an append must not merge
+    # the next record onto it.
+    manifest, path = _fresh(tmp_path)
+    manifest.record_state(0, DONE, attempt=1)
+    manifest.close()
+    data = path.read_bytes()
+    assert data.endswith(b"\n")
+    path.write_bytes(data[:-1])  # strip just the trailing newline
+    loaded = CampaignManifest.load(path)
+    assert not loaded.torn_tail
+    loaded.record_state(1, DONE, attempt=1)
+    loaded.close()
+    again = CampaignManifest.load(path)
+    assert again.entries[0].state == DONE
+    assert again.entries[1].state == DONE
+
+
+def test_record_state_tolerates_empty_error_text(tmp_path):
+    manifest, path = _fresh(tmp_path)
+    manifest.record_state(0, FAILED, attempt=1, error="")
+    manifest.record_state(1, FAILED, attempt=1, error="  \n ")
+    manifest.close()
+    loaded = CampaignManifest.load(path)
+    assert loaded.entries[0].error == "(no error text)"
+    assert loaded.entries[1].error == "(no error text)"
+
+
 def test_mid_file_corruption_is_fatal(tmp_path):
     manifest, path = _fresh(tmp_path)
     manifest.record_state(0, DONE, attempt=1)
