@@ -7,6 +7,9 @@ run           one scenario, print the paper's metrics
               ``--invariants`` turns on the invariant monitor;
               ``--trace OUT.jsonl`` writes a structured event trace;
               ``--profile`` prints hot-loop counters/timers)
+profile       run one scenario under the wall-clock stack sampler;
+              ``--flame OUT.folded`` exports flamegraph collapsed
+              stacks (render with flamegraph.pl or speedscope)
 compare       several protocols on the identical workload
 table1        regenerate Table 1 for a flow count
 figure        regenerate one of Figures 2-7
@@ -26,8 +29,9 @@ cache         inspect or clear the on-disk trial-result cache
 connectivity  physical connectivity bound of a scenario's mobility
 audit         loop-freedom audit of LDR under the given scenario
 lint          determinism & protocol-conformance static analysis
-bench         kernel microbenchmarks (spatial index fast path) with a
-              speedup-regression gate against the committed baseline
+bench         kernel microbenchmarks (spatial index + event-scheduler
+              fast paths) with a speedup-regression gate against the
+              committed baseline
 trace         inspect a JSONL trace artifact: summarize, filter, replay
               a destination's route timeline, or diff two traces
 verify        adversarial verification: run the published AODV loop
@@ -81,6 +85,10 @@ def _add_scenario_args(parser):
     parser.add_argument("--index", default="grid", choices=["grid", "scan"],
                         help="channel spatial-index backend (observationally "
                              "identical; 'scan' is the brute-force reference)")
+    parser.add_argument("--scheduler", default="calendar",
+                        choices=["calendar", "heap"],
+                        help="event-scheduler backend (observationally "
+                             "identical; 'heap' is the reference)")
 
 
 def _add_exec_args(parser):
@@ -123,6 +131,7 @@ def _scenario_from(args, protocol=None):
         width=width, height=height, num_flows=args.flows,
         duration=args.duration, pause_time=args.pause, seed=args.seed,
         channel_index=getattr(args, "index", "grid"),
+        scheduler=getattr(args, "scheduler", "calendar"),
     )
 
 
@@ -169,6 +178,25 @@ def cmd_run(args):
             print("VIOLATION t=%-10g %-18s %s" % (when, kind, detail),
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_profile(args):
+    from repro.obs import StackSampler
+
+    scenario = build_scenario(_scenario_from(args))
+    sampler = StackSampler(interval=args.interval / 1000.0)
+    with sampler:
+        report = scenario.run()
+    if args.flame:
+        lines = sampler.write_collapsed(args.flame)
+        print("flame: %d sample(s), %d unique stack(s) -> %s"
+              % (sampler.sample_count, lines, args.flame), file=sys.stderr)
+    else:
+        for line in sampler.collapsed()[:args.top]:
+            print(line)
+    print(json.dumps(report.profile_dict(), indent=2, sort_keys=True),
+          file=sys.stderr)
     return 0
 
 
@@ -406,6 +434,23 @@ def main(argv=None):
                    help="print event-dispatch counters and per-phase "
                         "timers to stderr after the run")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one scenario under the collapsed-stack sampler "
+             "(flamegraph export) and print hot-loop counters",
+    )
+    _add_scenario_args(p)
+    p.add_argument("--flame", default=None, metavar="OUT.folded",
+                   help="write collapsed stacks ('stack count' lines) to "
+                        "this file; render with flamegraph.pl or "
+                        "speedscope")
+    p.add_argument("--interval", type=float, default=5.0, metavar="MS",
+                   help="sampling interval in milliseconds (default 5)")
+    p.add_argument("--top", type=int, default=10,
+                   help="without --flame: print the N heaviest stacks "
+                        "(default 10)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compare", help="compare protocols on one workload")
     _add_scenario_args(p)

@@ -1,6 +1,7 @@
-"""Timing kernels for the wireless-channel fast path.
+"""Timing kernels for the simulator fast paths.
 
-Three benchmark families, each run under both index backends:
+Five benchmark families.  The first three exercise the wireless-channel
+spatial seam under both index backends:
 
 * ``neighbors_of`` — the all-nodes neighborhood sweep (the access pattern
   of the oracle protocol, the invariant monitor's reachability audits and
@@ -12,6 +13,17 @@ Three benchmark families, each run under both index backends:
   one instant); the event queue is drained between ops, unmeasured.
 * ``trial:<proto>`` — wall-clock of one full ``run_scenario`` trial
   (routing + MAC + traffic), reported as trials/second.
+
+The last two exercise the event-kernel seam (scheduler backends):
+
+* ``sched_ops`` — a synthetic schedule / cancel / timer-restart / drain
+  mix on a bare :class:`Simulator`, heap vs calendar; per-op ns where an
+  op is one loop iteration of the mix.
+* ``full_trial:<proto>`` — one full trial under the *reference* kernel
+  configuration (``scheduler="heap"``, ``channel_index="scan"``) vs the
+  *fast* one (``"calendar"`` + ``"grid"``): the end-to-end speedup of
+  everything the fast path stack buys, which is the number the PR-9
+  acceptance gate (≥3x at N ∈ {100, 400}) watches.
 
 Node counts sweep N ∈ {25, 50, 100, 200, 400} at the paper's node density
 (a 50-node network lives on 1500 m × 300 m), so per-node degree stays
@@ -29,10 +41,12 @@ from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.mobility import RandomWaypoint
 from repro.net import Node, WirelessChannel
 from repro.net.packet import Frame, Packet
-from repro.sim import Simulator
+from repro.sim import Simulator, Timer
 
 #: Bump when the report layout changes shape.
-BENCH_SCHEMA = 1
+#: 2: added the event-kernel families (``sched_ops`` heap-vs-calendar and
+#:    ``full_trial:<proto>`` reference-vs-fast) and their settings keys.
+BENCH_SCHEMA = 2
 
 #: Node counts for the query benchmarks (full mode).
 NODE_COUNTS = (25, 50, 100, 200, 400)
@@ -51,6 +65,17 @@ AREA_PER_NODE = 1500.0 * 300.0 / 50.0
 ASPECT = 5.0
 
 INDEXES = ("scan", "grid")
+
+#: Scheduler-ops benchmark: events per run.  Same in ``--quick`` mode —
+#: the kernel is sub-second, and keeping the count (= the baseline key)
+#: identical lets the CI smoke gate it against the committed baseline.
+SCHED_OPS_EVENTS = 100_000
+
+#: Full-trial reference-vs-fast node counts.  400 is the acceptance
+#: anchor for the event-kernel speedup; 50 keeps a point the ``--quick``
+#: CI smoke also measures, so the committed baseline gates it.
+FULL_TRIAL_NODE_COUNTS = (50, 100, 400)
+QUICK_FULL_TRIAL_NODE_COUNTS = (50,)
 
 
 def terrain(num_nodes):
@@ -123,8 +148,71 @@ def _time_trial(protocol, num_nodes, index, duration, seed):
     return time.perf_counter() - start
 
 
+def _noop():
+    """Do-nothing event callback for the scheduler-ops kernel."""
+
+
+def _time_scheduler_ops(backend, events, seed):
+    """Per-op ns for a synthetic schedule/cancel/restart/drain mix.
+
+    The mix mirrors what a trial actually does to the queue: mostly
+    schedules with short skewed delays, a third cancelled before firing,
+    a steady diet of timer restarts (MAC backoff / route lifetimes), and
+    interleaved partial drains.  The op sequence is generated by a fixed
+    LCG so both backends time *identical* programs.
+    """
+    sim = Simulator(seed=0, scheduler=backend)
+    timers = [Timer(sim, _noop) for _ in range(32)]
+    x = (seed * 2654435761 + 1) & 0x7FFFFFFF
+    start = time.perf_counter_ns()
+    for i in range(events):
+        x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        event = sim.schedule((x % 10_000) * 1e-4, _noop)
+        if i % 3 == 0:
+            event.cancel()
+        if i % 4 == 0:
+            timer = timers[x % 32]
+            delay = (x % 1_000) * 1e-3
+            if timer.armed:
+                timer.restart(delay)
+            else:
+                timer.start(delay)
+        if i % 64 == 63:
+            sim.run(max_events=32)
+    sim.run()
+    return (time.perf_counter_ns() - start) / events
+
+
+def _time_full_trial(protocol, num_nodes, fast, duration, seed):
+    """Wall seconds for one trial on the reference or the fast kernel."""
+    width, height = terrain(num_nodes)
+    config = ScenarioConfig(
+        protocol=protocol, num_nodes=num_nodes, width=width, height=height,
+        num_flows=max(2, min(10, num_nodes // 4)), duration=duration,
+        pause_time=0.0, warmup=1.0, seed=seed,
+        channel_index="grid" if fast else "scan",
+        scheduler="calendar" if fast else "heap",
+    )
+    start = time.perf_counter()
+    run_scenario(config)
+    return time.perf_counter() - start
+
+
 def _silent(line):
     """Default no-op progress sink."""
+
+
+#: Repetitions per timing point (the *minimum* is reported).  Single-shot
+#: readings on a shared box swing by 2-3x; the min of a few fresh runs is
+#: the classic stable estimator for "how fast can this go", which is what
+#: a dimensionless speedup ratio needs on both sides.
+NS_KERNEL_REPS = 3
+TRIAL_KERNEL_REPS = 2
+
+
+def _best_of(reps, fn):
+    """Minimum of ``reps`` fresh runs of ``fn`` (each rebuilds its world)."""
+    return min(fn() for _ in range(reps))
 
 
 def _pair(fn, *args):
@@ -145,6 +233,8 @@ def run_kernel_bench(
     protocols=TRIAL_PROTOCOLS,
     seed=1,
     include_trials=True,
+    sched_ops_events=None,
+    full_trial_sizes=None,
     progress=None,
 ):
     """Run every benchmark family; returns the ``BENCH_kernel.json`` dict.
@@ -163,13 +253,20 @@ def run_kernel_bench(
         transmit_reps = 40 if quick else 150
     if trial_duration is None:
         trial_duration = 5.0 if quick else 10.0
+    if sched_ops_events is None:
+        sched_ops_events = SCHED_OPS_EVENTS
+    if full_trial_sizes is None:
+        full_trial_sizes = QUICK_FULL_TRIAL_NODE_COUNTS if quick \
+            else FULL_TRIAL_NODE_COUNTS
     say = progress or _silent
 
     results = []
     for n in sizes:
         say("neighbors_of  n=%d" % n)
         scan_ns, grid_ns, speedup = _pair(
-            lambda index: _time_neighbors(n, index, rounds, seed))
+            lambda index: _best_of(NS_KERNEL_REPS,
+                                   lambda: _time_neighbors(
+                                       n, index, rounds, seed)))
         results.append({
             "bench": "neighbors_of", "n": n,
             "scan_ns_per_op": scan_ns, "grid_ns_per_op": grid_ns,
@@ -178,25 +275,52 @@ def run_kernel_bench(
     for n in sizes:
         say("transmit      n=%d" % n)
         scan_ns, grid_ns, speedup = _pair(
-            lambda index: _time_transmit(n, index, transmit_reps, seed))
+            lambda index: _best_of(NS_KERNEL_REPS,
+                                   lambda: _time_transmit(
+                                       n, index, transmit_reps, seed)))
         results.append({
             "bench": "transmit", "n": n,
             "scan_ns_per_op": scan_ns, "grid_ns_per_op": grid_ns,
             "speedup": speedup,
+        })
+    if sched_ops_events:
+        say("sched_ops     events=%d" % sched_ops_events)
+        heap_ns = _best_of(NS_KERNEL_REPS, lambda: _time_scheduler_ops(
+            "heap", sched_ops_events, seed))
+        cal_ns = _best_of(NS_KERNEL_REPS, lambda: _time_scheduler_ops(
+            "calendar", sched_ops_events, seed))
+        results.append({
+            "bench": "sched_ops", "n": sched_ops_events,
+            "heap_ns_per_op": heap_ns, "calendar_ns_per_op": cal_ns,
+            "speedup": heap_ns / cal_ns if cal_ns > 0 else float("inf"),
         })
     if include_trials:
         for protocol in protocols:
             for n in trial_sizes:
                 say("trial:%-6s  n=%d" % (protocol, n))
                 scan_s, grid_s, speedup = _pair(
-                    lambda index: _time_trial(
-                        protocol, n, index, trial_duration, seed))
+                    lambda index: _best_of(TRIAL_KERNEL_REPS,
+                                           lambda: _time_trial(
+                                               protocol, n, index,
+                                               trial_duration, seed)))
                 results.append({
                     "bench": "trial:%s" % protocol, "n": n,
                     "scan_s": scan_s, "grid_s": grid_s,
                     "scan_trials_per_sec": 1.0 / scan_s if scan_s else 0.0,
                     "grid_trials_per_sec": 1.0 / grid_s if grid_s else 0.0,
                     "speedup": speedup,
+                })
+        for protocol in protocols:
+            for n in full_trial_sizes:
+                say("full_trial:%-6s  n=%d" % (protocol, n))
+                ref_s = _best_of(TRIAL_KERNEL_REPS, lambda: _time_full_trial(
+                    protocol, n, False, trial_duration, seed))
+                fast_s = _best_of(TRIAL_KERNEL_REPS, lambda: _time_full_trial(
+                    protocol, n, True, trial_duration, seed))
+                results.append({
+                    "bench": "full_trial:%s" % protocol, "n": n,
+                    "reference_s": ref_s, "fast_s": fast_s,
+                    "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
                 })
 
     return {
@@ -206,8 +330,11 @@ def run_kernel_bench(
         "settings": {
             "sizes": list(sizes),
             "trial_sizes": list(trial_sizes) if include_trials else [],
+            "full_trial_sizes":
+                list(full_trial_sizes) if include_trials else [],
             "rounds": rounds,
             "transmit_reps": transmit_reps,
+            "sched_ops_events": sched_ops_events,
             "trial_duration": trial_duration,
             "protocols": list(protocols) if include_trials else [],
         },

@@ -285,7 +285,8 @@ class LdrProtocol(RoutingProtocol):
     def _on_rreq(self, rreq, from_id):
         if rreq.src == self.node_id:
             return  # our own flood coming back
-        self._purge_rreq_cache()
+        if len(self.rreq_cache) >= 256:  # inline _purge_rreq_cache guard
+            self._purge_rreq_cache()
         key = (rreq.src, rreq.rreqid)
         cache = self.rreq_cache.get(key)
         if rreq.d_bit:
@@ -629,6 +630,8 @@ class LdrProtocol(RoutingProtocol):
         return entry is not None and entry.is_active(self.sim.now)
 
     def _purge_rreq_cache(self):
+        # The size guard is duplicated at the _on_rreq call site so the
+        # per-RREQ hot path pays no call when the cache is small.
         now = self.sim.now
         if len(self.rreq_cache) < 256:
             return

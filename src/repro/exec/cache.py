@@ -37,7 +37,11 @@ import repro
 #:    artifacts moved to schema 2 (route events carry the destination's
 #:    own label, fault events carry structured detail, headers carry the
 #:    truncation flag) with optional ``.trace.jsonl.gz`` compression.
-CACHE_SCHEMA = 5
+#: 6: configs gained the scheduler backend (event-kernel seam); heap and
+#:    calendar rows are byte-identical (differential suite), but the
+#:    serialized config payload changed shape, so pre-seam entries must
+#:    miss rather than alias.
+CACHE_SCHEMA = 6
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -16,8 +16,8 @@ import os
 from repro.exec.deadline import TrialTimeout, call_with_deadline
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 
-__all__ = ["CHANNEL_INDEX_ENV", "TrialTimeout", "run_trial_config",
-           "run_trial_payload"]
+__all__ = ["CHANNEL_INDEX_ENV", "SCHEDULER_ENV", "TrialTimeout",
+           "run_trial_config", "run_trial_payload"]
 
 #: Environment override forcing every trial onto one spatial-index
 #: backend ("grid"/"scan") regardless of what the dispatched config says.
@@ -29,6 +29,14 @@ __all__ = ["CHANNEL_INDEX_ENV", "TrialTimeout", "run_trial_config",
 #: config, and an override that changed rows would be a bug the
 #: equivalence tests exist to catch.
 CHANNEL_INDEX_ENV = "REPRO_CHANNEL_INDEX"
+
+#: Same contract for the event-scheduler backend ("calendar"/"heap"):
+#: forces every dispatched trial onto one scheduler without touching the
+#: config used for cache keying.  The backends are observationally
+#: identical (tests/sim/test_scheduler_equiv.py and
+#: tests/experiments/test_scheduler_determinism.py), so rows are
+#: unchanged — the knob exists for benchmarking and bisection.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
 def _run_guarded(trial_fn, timeout):
@@ -65,6 +73,9 @@ def run_trial_payload(payload):
         override = os.environ.get(CHANNEL_INDEX_ENV)
         if override:
             config = config.replaced(channel_index=override)
+        sched_override = os.environ.get(SCHEDULER_ENV)
+        if sched_override:
+            config = config.replaced(scheduler=sched_override)
         trace_path = payload.get("trace")
         if trace_path is None:
             return {"row": run_scenario(config).as_dict()}

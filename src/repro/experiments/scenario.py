@@ -32,7 +32,7 @@ from repro.protocols import (
     ToraProtocol,
 )
 from repro.routing import LoopChecker
-from repro.sim import Simulator
+from repro.sim import SCHEDULER_BACKENDS, Simulator
 from repro.traffic import TrafficGenerator
 from repro.traffic.cbr import reset_flow_ids
 
@@ -144,6 +144,7 @@ class ScenarioConfig:
         transmission_range=275.0,
         gray_zone=0.0,
         channel_index="grid",
+        scheduler="calendar",
         seed=1,
         protocol_config=None,
         mac_config=None,
@@ -181,6 +182,12 @@ class ScenarioConfig:
                 % (channel_index, sorted(INDEX_BACKENDS))
             )
         self.channel_index = channel_index
+        if scheduler not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                "unknown scheduler %r (choose from %s)"
+                % (scheduler, sorted(SCHEDULER_BACKENDS))
+            )
+        self.scheduler = scheduler
         self.seed = seed
         self.protocol_config = protocol_config
         self.mac_config = mac_config
@@ -276,6 +283,12 @@ class ScenarioConfig:
         # produced; two configs differing only here hash to different
         # trial keys.
         "channel_index",
+        # The event-scheduler backend is the same kind of seam: heap and
+        # calendar produce byte-identical rows (the differential suite in
+        # tests/sim and tests/experiments holds them to it), but the
+        # backend is still recorded in the trial's identity so cached
+        # rows say exactly how they were produced.
+        "scheduler",
         "seed",
         "loop_check",
         "warmup",
@@ -367,7 +380,7 @@ class Scenario:
         # not of how many trials this process ran before.
         reset_packet_uids()
         reset_flow_ids()
-        self.sim = Simulator(seed=config.seed)
+        self.sim = Simulator(seed=config.seed, scheduler=config.scheduler)
         self.metrics = MetricsCollector(self.sim)
 
         if config.placements is not None:

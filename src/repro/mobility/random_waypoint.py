@@ -81,10 +81,17 @@ class RandomWaypoint(MobilityModel):
         self.duration = float(duration)
         self._legs = {}
         self._leg_starts = {}
+        # Per-node cache of the leg index the last query landed on: legs
+        # last tens of simulated seconds while queries advance with the
+        # event clock, so nearly every lookup re-hits the same leg and
+        # skips the bisect.  Pure memoization — the leg found is the same
+        # one the bisect would find.
+        self._leg_cache = {}
         for node_id in range(num_nodes):
             legs = self._generate(node_id, rng, min_speed, max_speed, pause_time)
             self._legs[node_id] = legs
             self._leg_starts[node_id] = [leg.start_time for leg in legs]
+            self._leg_cache[node_id] = 0
 
     def _generate(self, node_id, rng, min_speed, max_speed, pause_time):
         x = rng.uniform(0, self.width)
@@ -106,27 +113,33 @@ class RandomWaypoint(MobilityModel):
             t = leg.end_time
         return legs
 
-    def position(self, node_id, t):
-        legs = self._legs[node_id]
+    def _leg_at(self, node_id, t):
+        """The leg covering time ``t`` — the one ``bisect_right(starts, t)
+        - 1`` selects — found through the per-node cache when possible."""
         starts = self._leg_starts[node_id]
-        index = bisect.bisect_right(starts, t) - 1
-        if index < 0:
-            index = 0
-        return legs[index].position(t)
-
-    def positions_at(self, node_ids, t):
-        # Bulk snapshot for the spatial index: same bisect + same leg
-        # interpolation as position(), just without the per-call attribute
-        # traffic, so the values are bit-identical to per-node lookups.
-        all_legs = self._legs
-        all_starts = self._leg_starts
-        bisect_right = bisect.bisect_right
-        out = {}
-        for node_id in node_ids:
-            index = bisect_right(all_starts[node_id], t) - 1
+        index = self._leg_cache[node_id]
+        # Cache hit iff the bisect would land on the same index: t is at
+        # or past this leg's start and strictly before the next one's.
+        if not (
+            starts[index] <= t
+            and (index + 1 == len(starts) or t < starts[index + 1])
+        ):
+            index = bisect.bisect_right(starts, t) - 1
             if index < 0:
                 index = 0
-            out[node_id] = all_legs[node_id][index].position(t)
+            self._leg_cache[node_id] = index
+        return self._legs[node_id][index]
+
+    def position(self, node_id, t):
+        return self._leg_at(node_id, t).position(t)
+
+    def positions_at(self, node_ids, t):
+        # Bulk snapshot for the spatial index: same leg selection + same
+        # interpolation as position(), so values are bit-identical to
+        # per-node lookups.
+        out = {}
+        for node_id in node_ids:
+            out[node_id] = self._leg_at(node_id, t).position(t)
         return out
 
     def node_ids(self):

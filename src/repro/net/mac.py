@@ -149,6 +149,15 @@ class CsmaMac:
     def is_transmitting(self):
         return self._current is not None and self.sim.now < self._tx_end
 
+    def sense_carrier(self, busy_until, now):
+        """Fused ``set_nav`` + ``is_transmitting`` for the channel's
+        per-receiver loop: signal the medium busy until ``busy_until``
+        and report whether this radio is itself mid-transmission at
+        ``now`` (half duplex: it then cannot decode the frame)."""
+        if busy_until > self._nav:
+            self._nav = busy_until
+        return self._current is not None and now < self._tx_end
+
     def handle_frame(self, frame):
         """A frame addressed to us (or broadcast) decoded successfully."""
         if self.down:

@@ -38,6 +38,8 @@ class Packet:
     kind = "packet"
     size_bytes = 64
 
+    __slots__ = ("uid",)
+
     def __init__(self):
         self.uid = next(_packet_uids)
 
@@ -54,6 +56,16 @@ class DataPacket(Packet):
 
     is_control = False
     kind = "data"
+
+    # Data packets are minted per flow tick and relayed hop by hop — by
+    # far the most-allocated object in a trial — so they carry slots
+    # instead of a dict.  route_position/salvage_count are DSR's relay
+    # annotations; they stay *unset* (not None) until DSR assigns them,
+    # preserving the getattr(..., default) protocol DSR uses.
+    __slots__ = (
+        "src", "dst", "size_bytes", "flow_id", "seq", "created_at",
+        "hops", "source_route", "route_position", "salvage_count",
+    )
 
     def __init__(self, src, dst, size_bytes, flow_id, seq, created_at):
         super().__init__()

@@ -8,10 +8,10 @@ the channel a pluggable index seam:
 
 * :class:`ScanIndex` — the original brute-force scan, kept as the
   reference implementation (``index="scan"``);
-* :class:`GridIndex` — a uniform grid whose cell edge is (slightly more
-  than) the transmission range, so any node within range of a query point
-  lies in the query's cell or one of its 8 neighbors (``index="grid"``,
-  the default).
+* :class:`GridIndex` — drift-tolerant position snapshots screened with
+  vectorized arithmetic, plus lazy exact-position memoization
+  (``index="grid"``, the default; the name is historical — the snapshot
+  array replaced the cell grid when the screen went vectorized).
 
 Both backends are **observationally identical**: the same node ids, in the
 same order (channel attach order, i.e. the order nodes joined), decided by
@@ -21,7 +21,7 @@ channel, so fault overlays never touch the index.
 
 Two-tier memoization
 --------------------
-The grid keeps two caches with different lifetimes:
+The fast index keeps two caches with different lifetimes:
 
 **Exact positions** are memoized lazily per *(event epoch, query time,
 mobility version)*: the first query for a node's position in that key
@@ -39,35 +39,46 @@ computes it, later queries reuse it.
   version`) covers same-event mutation: models that move nodes outside
   their pure ``position(node_id, t)`` contract bump it.
 
-**Cell buckets** are deliberately *stale-tolerant*.  When the mobility
-model declares a Lipschitz bound (:attr:`~repro.mobility.base.
-MobilityModel.max_speed`), cells are built :data:`BUCKET_SLACK` ranges
-wide and a bucketing built at time ``t0`` stays valid while the
-worst-case drift ``max_speed * |t - t0|`` fits in the extra half range:
-the 3×3 ring then still covers ``range + drift``, and every candidate is
-verified against its *exact* position at the query time, so staleness can
-only add candidates, never drop a true neighbor or admit a false one.
-That turns bucket construction from a per-event cost into a
-once-per-``range/(2·max_speed)``-sim-seconds cost.  Models with
-``static = True`` never drift (tight cells, buckets live until a
-``version`` bump); models with ``max_speed = None`` (unknown motion law)
-rebuild per position-memo key — always safe, never wrong.
+**Position snapshots** are deliberately *stale-tolerant*.  When the
+mobility model declares a Lipschitz bound (:attr:`~repro.mobility.base.
+MobilityModel.max_speed`), a snapshot of every node's position built at
+time ``t0`` stays trusted while the worst-case drift ``max_speed *
+|t - t0|`` stays under a fraction of the transmission range
+(:data:`BUCKET_SLACK`).  A query then screens all
+snapshot positions at C speed against two certainty radii derived from
+the triangle inequality — candidates closer than ``range - drift`` are
+neighbors for sure, candidates beyond ``range + drift`` cannot be — and
+only the annulus of genuinely doubtful candidates is verified against
+*exact* positions at the query time.  A safety margin keeps both bands
+strictly clear of the range boundary, so every decision agrees
+bit-for-bit with the reference scan's expression; staleness can only
+cost extra verification, never a wrong membership.  Models with
+``static = True`` never drift (one snapshot serves until a ``version``
+bump); models with ``max_speed = None`` (unknown motion law) rebuild per
+position-memo key — always safe, never wrong.
 """
 
-#: Relative margin added to the grid cell edge.  A node at distance
-#: *exactly* ``range`` must be found in the 3×3 cell neighborhood even
-#: when the floating-point division ``x / cell`` rounds across a cell
-#: boundary; a margin of one part in 10⁶ dwarfs any double-rounding slop
-#: while leaving the asymptotics (≤ 9 cells per query) untouched.
+import numpy as np
+
+#: Relative slack subtracted from / added to the certainty radii (and,
+#: historically, the grid cell edge).  Drift bounds are mathematically
+#: sound in the reals; this margin of one part in 10⁶ of the range keeps
+#: the certainty decisions away from the boundary by six orders of
+#: magnitude more than any double-rounding slop, so a band decision can
+#: never disagree with the float evaluation of the canonical membership
+#: expression.
 CELL_MARGIN = 1.000001
 
-#: Cell-edge multiplier for speed-bounded mobility: cells are built half
-#: a range wider than strictly necessary, so the 3×3 ring remains
-#: sufficient while worst-case drift stays under the extra half range
-#: (``range + drift <= 1.5 * range = cell``).  Buckets are rebuilt when
-#: drift exhausts that slack, keeping the per-query window at 4.5 ranges
-#: instead of letting the ring widen to 5×5 cells (5 ranges).
-BUCKET_SLACK = 1.5
+#: Drift allowance for speed-bounded mobility, in (margined) transmission
+#: ranges: a snapshot built at ``t0`` stays trusted while worst-case
+#: drift ``max_speed * |t - t0|`` is under ``(BUCKET_SLACK - 1)`` ranges.
+#: Correctness never depends on this number — the certainty bands widen
+#: with the actual drift — it only balances snapshot rebuild cost (one
+#: bulk position pass per expiry) against the width of the doubtful
+#: annulus (one exact position per doubtful candidate per query).  A
+#: tenth of a range keeps the annulus a few nodes wide at the paper's
+#: densities while rebuilds stay rarer than one per thousand events.
+BUCKET_SLACK = 1.1
 
 
 class NeighborIndex:
@@ -135,16 +146,15 @@ class ScanIndex(NeighborIndex):
 
 
 class GridIndex(NeighborIndex):
-    """Uniform-grid index with drift-tolerant buckets and lazy positions.
+    """Snapshot index with drift-certainty screening and lazy positions.
 
-    Cell edge = transmission range (+ :data:`CELL_MARGIN`; ×
-    :data:`BUCKET_SLACK` for speed-bounded mobility), so the range disk
-    around any point — inflated by the worst-case drift since the buckets
-    were built — is covered by a small ring of cells around the query
-    cell (3×3 while drift fits the slack).  Membership is always decided
-    on *exact* positions at the query time (lazily memoized per event —
-    see module docstring), so bucket staleness only costs extra candidate
-    checks, never correctness.
+    A rebuild takes one bulk ``positions_at`` pass and stores the result
+    as attach-ordered coordinate arrays.  ``near`` computes every
+    snapshot distance in one vectorized expression — elementwise IEEE-754
+    double arithmetic, so each value is bit-identical to what the scalar
+    reference expression produces — then walks only the short list of
+    candidates the certainty bands cannot settle, verifying those against
+    exact positions memoized per event (see module docstring).
     """
 
     name = "grid"
@@ -153,53 +163,51 @@ class GridIndex(NeighborIndex):
         self.sim = sim
         self.mobility = mobility
         self.range = float(transmission_range)
-        # Static placements do not depend on time at all: one bucketing
+        # Static placements do not depend on time at all: one snapshot
         # serves the whole run until a move() bumps the model's version.
         self._static = bool(getattr(mobility, "static", False))
         self._scheduler = sim.scheduler
         base = self.range * CELL_MARGIN if self.range > 0 else 1.0
         max_speed = getattr(mobility, "max_speed", None)
         if self._static or max_speed == 0:
-            # No drift ever: tight cells (3×3 window = 3 ranges), buckets
-            # live until a version bump or a new attachment.
+            # No drift ever: the snapshot lives until a version bump or a
+            # new attachment.
             self._max_speed = 0.0
-            self.cell = base
             self._bucket_limit = float("inf")
         elif max_speed is None:
-            # Unknown motion law: no drift bound exists, so buckets are
+            # Unknown motion law: no drift bound exists, so snapshots are
             # only trusted within one position-memo key (conservative:
             # rebuild whenever the event epoch / time / version moves).
             self._max_speed = 0.0
-            self.cell = base
             self._bucket_limit = None
         else:
-            # Speed-bounded motion: wider cells buy a drift allowance of
-            # half a range before a rebuild is needed (BUCKET_SLACK).
+            # Speed-bounded motion: the snapshot buys half a range of
+            # drift allowance before a rebuild is needed (BUCKET_SLACK).
             self._max_speed = float(max_speed)
-            self.cell = base * BUCKET_SLACK
-            self._bucket_limit = (self.cell - base) / self._max_speed
+            self._bucket_limit = (BUCKET_SLACK - 1.0) * base / self._max_speed
         self._ids = []
-        self._rank = {}  # node id -> attach order, for output ordering
+        self._rank = {}  # node id -> attach order, for membership checks
         # Exact positions at the current (epoch, t, version) key, filled
         # lazily one node at a time.
         self._pos_key = None
         self._pos = {}
-        # Stale-tolerant buckets: cell coord -> [(node_id, x, y), ...] in
-        # attach order, positions as of the build time ``_bucket_t``.
-        self._cells = None
-        self._all = []  # the same entries as one attach-ordered list
-        self._bounds = (0, -1, 0, -1)  # occupied-cell bounding box
+        # Stale-tolerant snapshot: attach-ordered coordinate arrays (and
+        # the same entries as (id, x, y) tuples for covered scans),
+        # positions as of the build time ``_bucket_t``.
+        self._snap_x = None
+        self._snap_y = None
+        self._all = []
         self._bucket_t = 0.0
         self._bucket_version = None
         self._bucket_key = None  # position-memo key at build time
-        #: Bucket builds performed (tests assert reuse across events).
+        #: Snapshot builds performed (tests assert reuse across events).
         self.builds = 0
 
     def attach(self, node_id):
         if node_id not in self._rank:
             self._rank[node_id] = len(self._ids)
             self._ids.append(node_id)
-            self._cells = None  # rebucket so the new node is findable
+            self._snap_x = None  # rebuild so the new node is findable
 
     def _pos_at(self, t):
         """The lazy exact-position memo for the current key."""
@@ -211,8 +219,9 @@ class GridIndex(NeighborIndex):
         return self._pos
 
     def position(self, node_id, t):
-        # Never builds buckets: point lookups (in_range, gray zone) cost
-        # one mobility call at most, memoized for the rest of the event.
+        # Never builds snapshots: point lookups (in_range, gray zone)
+        # cost one mobility call at most, memoized for the rest of the
+        # event.
         pos = self._pos_at(t)
         xy = pos.get(node_id)
         if xy is None:
@@ -220,8 +229,8 @@ class GridIndex(NeighborIndex):
             pos[node_id] = xy
         return xy
 
-    def _ensure_buckets(self, t, version):
-        if self._cells is not None and version == self._bucket_version:
+    def _ensure_snapshot(self, t, version):
+        if self._snap_x is not None and version == self._bucket_version:
             limit = self._bucket_limit
             if limit is None:
                 if self._bucket_key == self._pos_key:
@@ -229,27 +238,21 @@ class GridIndex(NeighborIndex):
             elif abs(t - self._bucket_t) <= limit:
                 return
         positions = self.mobility.positions_at(self._ids, t)
-        cell = self.cell
-        cells = {}
-        entries = []  # every (id, x, y) in attach order, for covered scans
+        entries = []
+        xs = []
+        ys = []
         for node_id in self._ids:
             x, y = positions[node_id]
-            entry = (node_id, x, y)
-            entries.append(entry)
-            coord = (int(x // cell), int(y // cell))
-            bucket = cells.get(coord)
-            if bucket is None:
-                cells[coord] = [entry]
-            else:
-                bucket.append(entry)
-        self._cells = cells
+            entries.append((node_id, x, y))
+            xs.append(x)
+            ys.append(y)
+        self._snap_x = np.array(xs, dtype=np.float64)
+        self._snap_y = np.array(ys, dtype=np.float64)
+        # Scratch buffers reused by every near() between rebuilds, so the
+        # screen allocates no per-query temporaries.
+        self._dx = np.empty_like(self._snap_x)
+        self._dy = np.empty_like(self._snap_y)
         self._all = entries
-        if cells:
-            xs = [coord[0] for coord in cells]
-            ys = [coord[1] for coord in cells]
-            self._bounds = (min(xs), max(xs), min(ys), max(ys))
-        else:
-            self._bounds = (0, -1, 0, -1)
         self._bucket_t = t
         self._bucket_version = version
         self._bucket_key = self._pos_key
@@ -259,77 +262,69 @@ class GridIndex(NeighborIndex):
         self.builds += 1
 
     def near(self, node_id, t):
-        pos = self._pos_at(t)  # refresh _pos_key before the bucket check
+        pos = self._pos_at(t)  # refresh _pos_key before the snapshot check
         version = getattr(self.mobility, "version", None)
-        self._ensure_buckets(t, version)
+        self._ensure_snapshot(t, version)
         xy = pos.get(node_id)
         if xy is None:
             xy = self.mobility.position(node_id, t)
             pos[node_id] = xy
         x, y = xy
-        cell = self.cell
-        cx, cy = int(x // cell), int(y // cell)
         limit = self.range * self.range
-        cells = self._cells
-        mobility_position = self.mobility.position
-        # Ring radius: a true neighbor's *bucket-time* position is within
-        # range + max_speed*|t - t0| of the query point, and a ring of R
-        # cells around the query cell covers every point within R*cell of
-        # it; take the smallest R with R*cell >= that reach (drift 0 gives
-        # the classic 3×3).  CELL_MARGIN absorbs the float slop of the
-        # // divisions.
-        drift = self._max_speed * abs(t - self._bucket_t)
-        if drift == 0.0:
-            ring = 1
+        # One vectorized pass over the snapshot: every node's squared
+        # distance to the (exact) query point, each an elementwise IEEE
+        # double op — bit-identical to the scalar dx*dx + dy*dy.
+        d2 = np.subtract(self._snap_x, x, out=self._dx)
+        d2 *= d2
+        dy = np.subtract(self._snap_y, y, out=self._dy)
+        dy *= dy
+        d2 += dy
+        # Snapshots built in this very memo key hold the exact positions:
+        # the screen itself decides membership.  Otherwise a candidate's
+        # true position lies within ``drift`` of its snapshot position,
+        # so with snapshot distance d0 to the exact query point:
+        #
+        # * d0 <= range - drift - margin  →  certainly in range,
+        # * d0 >  range + drift + margin  →  certainly out of range,
+        #
+        # and only the annulus between needs an exact position.  The
+        # margin keeps both certainty bands strictly clear of the
+        # boundary, where float evaluation of the canonical membership
+        # expression could otherwise disagree by an ulp — decisions stay
+        # bit-identical to the reference scan while mobility lookups
+        # drop to the doubtful band only.
+        if self._bucket_key == self._pos_key:
+            sure_in2 = limit
+            sure_out2 = limit
         else:
-            reach = self.range * CELL_MARGIN + drift
-            ring = int(-(-reach // cell))
-        # Buckets built in this very memo key hold the exact positions;
-        # otherwise verify each candidate against the lazy exact memo.
-        fresh = self._bucket_key == self._pos_key
+            drift = self._max_speed * abs(t - self._bucket_t)
+            margin = self.range * 1e-6
+            sure_in = self.range - drift - margin
+            sure_in2 = sure_in * sure_in if sure_in > 0.0 else -1.0
+            sure_out = self.range + drift + margin
+            sure_out2 = sure_out * sure_out
+        ids = self._ids
+        cand = np.flatnonzero(d2 <= sure_out2)
+        if sure_in2 == sure_out2:
+            # Fresh snapshot: the screen IS the membership decision.
+            return [ids[i] for i in cand.tolist() if ids[i] != node_id]
+        mobility_position = self.mobility.position
         found = []
-        minx, maxx, miny, maxy = self._bounds
-        if cx - ring <= minx and maxx <= cx + ring \
-                and cy - ring <= miny and maxy <= cy + ring:
-            # The ring spans every occupied cell (common at the paper's
-            # density, where one transmission range covers much of the
-            # terrain): walk the attach-ordered entry list directly — no
-            # bucket gathering, and the output needs no sort.
-            for other_id, bx, by in self._all:
-                if other_id == node_id:
-                    continue
-                if fresh:
-                    ox, oy = bx, by
-                else:
-                    oxy = pos.get(other_id)
-                    if oxy is None:
-                        oxy = mobility_position(other_id, t)
-                        pos[other_id] = oxy
-                    ox, oy = oxy
-                dx, dy = ox - x, oy - y
-                if dx * dx + dy * dy <= limit:
-                    found.append(other_id)
-            return found
-        for gx in range(cx - ring, cx + ring + 1):
-            for gy in range(cy - ring, cy + ring + 1):
-                bucket = cells.get((gx, gy))
-                if bucket is None:
-                    continue
-                for other_id, bx, by in bucket:
-                    if other_id == node_id:
-                        continue
-                    if fresh:
-                        ox, oy = bx, by
-                    else:
-                        oxy = pos.get(other_id)
-                        if oxy is None:
-                            oxy = mobility_position(other_id, t)
-                            pos[other_id] = oxy
-                        ox, oy = oxy
-                    dx, dy = ox - x, oy - y
-                    if dx * dx + dy * dy <= limit:
-                        found.append(other_id)
-        found.sort(key=self._rank.__getitem__)
+        for i, certain in zip(cand.tolist(), (d2[cand] <= sure_in2).tolist()):
+            other_id = ids[i]
+            if other_id == node_id:
+                continue
+            if certain:
+                found.append(other_id)
+                continue
+            oxy = pos.get(other_id)
+            if oxy is None:
+                oxy = mobility_position(other_id, t)
+                pos[other_id] = oxy
+            ox, oy = oxy
+            ddx, ddy = ox - x, oy - y
+            if ddx * ddx + ddy * ddy <= limit:
+                found.append(other_id)
         return found
 
 

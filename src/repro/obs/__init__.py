@@ -12,8 +12,10 @@ package provides it:
 * :mod:`repro.obs.writer` / :mod:`repro.obs.reader` — streaming JSONL
   trace files; byte-identical for identical ``(config, seed, fault_plan)``.
 * :mod:`repro.obs.profile` — the :class:`Profiler` counter/timer registry
-  every :class:`~repro.sim.simulator.Simulator` carries; hot-path
-  counters are deterministic, wall-clock phase timers are host-side only.
+  every :class:`~repro.sim.simulator.Simulator` carries (hot-path
+  counters are deterministic, wall-clock phase timers are host-side
+  only), plus the :class:`StackSampler` collapsed-stack flamegraph
+  exporter behind ``repro profile --flame``.
 * :mod:`repro.obs.cli` — the ``repro trace`` subcommands (summary, show,
   routes, diff).
 
@@ -21,7 +23,7 @@ package provides it:
 """
 
 from repro.obs.events import EVENT_KINDS, SCHEMA_VERSION, TraceEvent, jsonable
-from repro.obs.profile import Profiler
+from repro.obs.profile import Profiler, StackSampler
 from repro.obs.reader import TraceError, iter_trace, read_trace, trace_ok
 from repro.obs.recorder import POLICIES, TraceRecorder
 from repro.obs.writer import JsonlTraceWriter, trace_header, write_trace
@@ -32,6 +34,7 @@ __all__ = [
     "POLICIES",
     "Profiler",
     "SCHEMA_VERSION",
+    "StackSampler",
     "TraceError",
     "TraceEvent",
     "TraceRecorder",

@@ -13,6 +13,9 @@ not simulation facts — they never enter metric rows, cache entries, or
 trace files, all of which must stay byte-identical across machines.
 """
 
+import os
+import sys
+import threading
 import time
 from contextlib import contextmanager
 
@@ -30,7 +33,10 @@ class Profiler:
 
     def count(self, name, n=1):
         """Add ``n`` to the ``name`` counter."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        try:
+            self.counters[name] += n
+        except KeyError:
+            self.counters[name] = n
 
     # -- timers (wall clock; host-side facts only) ----------------------
 
@@ -65,3 +71,99 @@ class Profiler:
         return "Profiler(%d counters, %d timers)" % (
             len(self.counters), len(self.timers)
         )
+
+
+class StackSampler:
+    """Wall-clock stack sampler producing flamegraph *collapsed* output.
+
+    A daemon thread snapshots the owning thread's Python stack every
+    ``interval`` seconds via :func:`sys._current_frames` and folds each
+    sample into Brendan Gregg's collapsed-stack format — one line per
+    unique stack, root frame first::
+
+        __main__.py:main;simulator.py:run;events.py:run 731
+
+    which flamegraph.pl / speedscope / inferno render directly.  Like
+    the wall timers above, samples are host facts: purely observational
+    (the simulated world is never touched, so traced/benchmarked runs
+    stay byte-identical), non-deterministic, and kept out of result
+    rows.  This module is the RL002 allowlist entry, which is also why
+    the wall-clock wait and the sampling thread live here.
+
+    Use as a context manager around the run to profile::
+
+        sampler = StackSampler()
+        with sampler:
+            scenario.run()
+        sampler.write_collapsed("out.folded")
+    """
+
+    def __init__(self, interval=0.005):
+        self.interval = float(interval)
+        if self.interval <= 0:
+            raise ValueError("interval must be positive (got %r)" % interval)
+        self.samples = {}
+        self.sample_count = 0
+        self._target = None
+        self._thread = None
+        self._stop = threading.Event()
+
+    def start(self):
+        """Begin sampling the *calling* thread from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already running")
+        self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self):
+        """Stop sampling; idempotent."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    def _sample_loop(self):
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            stack = []
+            while frame is not None:
+                code = frame.f_code
+                stack.append("%s:%s" % (
+                    os.path.basename(code.co_filename),
+                    getattr(code, "co_qualname", code.co_name),
+                ))
+                frame = frame.f_back
+            stack.reverse()
+            key = ";".join(stack)
+            try:
+                self.samples[key] += 1
+            except KeyError:
+                self.samples[key] = 1
+            self.sample_count += 1
+
+    def collapsed(self):
+        """The folded lines (``stack count``), heaviest stack first."""
+        return ["%s %d" % (stack, count) for stack, count in
+                sorted(self.samples.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+    def write_collapsed(self, path):
+        """Write the folded stacks to ``path``; returns lines written."""
+        lines = self.collapsed()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)

@@ -1,19 +1,43 @@
 """Discrete-event simulation kernel.
 
 This package replaces the GloMoSim/QualNet event engine used in the paper
-with a small, deterministic, heap-based scheduler:
+with a small, deterministic scheduler behind a pluggable backend seam:
 
-* :class:`~repro.sim.events.EventScheduler` — priority queue of timestamped
-  callbacks with stable FIFO ordering for simultaneous events.
-* :class:`~repro.sim.simulator.Simulator` — simulation clock, scheduler and
-  per-component random number streams in one object.
-* :class:`~repro.sim.timers.Timer` — restartable one-shot timer built on the
-  scheduler, used pervasively by the routing protocols.
+* :class:`~repro.sim.events.EventScheduler` — the reference binary-heap
+  priority queue of timestamped callbacks with stable FIFO ordering for
+  simultaneous events.
+* :class:`~repro.sim.events.CalendarScheduler` — the bucketed
+  calendar-queue backend with identical observable semantics (the
+  differential suite in ``tests/sim/test_scheduler_equiv.py`` holds the
+  two to event-for-event agreement).
+* :class:`~repro.sim.simulator.Simulator` — simulation clock, scheduler
+  and per-component random number streams in one object; selects the
+  backend via ``Simulator(scheduler="calendar"|"heap")``.
+* :class:`~repro.sim.timers.Timer` — restartable one-shot timer built on
+  the scheduler, used pervasively by the routing protocols; ``restart``
+  is O(1) via deferred re-arm.
 """
 
-from repro.sim.events import Event, EventScheduler
+from repro.sim.events import (
+    SCHEDULER_BACKENDS,
+    CalendarScheduler,
+    Event,
+    EventScheduler,
+    SchedulerBase,
+    make_scheduler,
+)
 from repro.sim.rng import RngStreams
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
 
-__all__ = ["Event", "EventScheduler", "RngStreams", "Simulator", "Timer"]
+__all__ = [
+    "SCHEDULER_BACKENDS",
+    "CalendarScheduler",
+    "Event",
+    "EventScheduler",
+    "RngStreams",
+    "SchedulerBase",
+    "Simulator",
+    "Timer",
+    "make_scheduler",
+]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.obs.profile import Profiler
-from repro.sim.events import Event, EventScheduler
+from repro.sim.events import Event, make_scheduler
 from repro.sim.rng import RngStreams
 
 if TYPE_CHECKING:
@@ -19,43 +19,49 @@ if TYPE_CHECKING:
 
 
 class Simulator:
-    """Owns the event loop and randomness for one simulation run."""
+    """Owns the event loop and randomness for one simulation run.
 
-    def __init__(self, seed: int = 0) -> None:
-        self.scheduler = EventScheduler()
+    ``scheduler`` selects the event-queue backend by registry name
+    (:data:`~repro.sim.events.SCHEDULER_BACKENDS`): ``"calendar"`` (the
+    default, a bucketed calendar queue) or ``"heap"`` (the reference
+    binary heap).  The backends are observationally identical — the
+    differential suite in ``tests/sim/test_scheduler_equiv.py`` holds
+    them to the same fire order, clock, and epoch — so the choice is a
+    pure speed knob.
+    """
+
+    def __init__(self, seed: int = 0, scheduler: str = "calendar") -> None:
+        self.scheduler = make_scheduler(scheduler)
+        self.scheduler_backend = scheduler
         self.rng = RngStreams(seed)
         self.seed = seed
         # Always-on counter/timer registry (repro.obs).  Hot-path
         # components bump deterministic counters through it; wall-clock
         # phase timers stay inside obs/profile.py (the RL002 allowlist).
         self.profiler: Profiler = Profiler()
+        # Bound-method fast path: scheduling is the hottest call in the
+        # whole simulation, so skip the wrapper frame per call.  Same
+        # signatures as SchedulerBase.schedule / schedule_at.
+        self.schedule: Callable[..., Event] = self.scheduler.schedule
+        self.schedule_at: Callable[..., Event] = self.scheduler.schedule_at
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
-        return self.scheduler.now
+        # Reads the backend's clock field directly rather than its ``now``
+        # property: this accessor is hit hundreds of thousands of times
+        # per trial and the double property hop was measurable.
+        return self.scheduler._now
 
     @property
     def event_epoch(self) -> int:
-        """Dispatched-event count; see :attr:`EventScheduler.epoch`."""
-        return self.scheduler.epoch
-
-    def schedule(
-        self, delay: float, callback: Callable[..., Any], *args: Any
-    ) -> Event:
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        return self.scheduler.schedule(delay, callback, *args)
-
-    def schedule_at(
-        self, time: float, callback: Callable[..., Any], *args: Any
-    ) -> Event:
-        """Schedule ``callback(*args)`` at absolute time ``time``."""
-        return self.scheduler.schedule_at(time, callback, *args)
+        """Dispatched-event count; see :attr:`SchedulerBase.epoch`."""
+        return self.scheduler._epoch
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> None:
-        """Drive the event loop; see :meth:`EventScheduler.run`.
+        """Drive the event loop; see :meth:`SchedulerBase.run`.
 
         Dispatched-event counts accumulate in ``profiler`` (the epoch
         delta, so nested/partial runs attribute their own work).

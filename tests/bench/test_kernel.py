@@ -20,7 +20,7 @@ from repro.bench.cli import main
 
 def _tiny_report(**kw):
     defaults = dict(sizes=(6,), rounds=1, transmit_reps=2,
-                    include_trials=False, seed=3)
+                    include_trials=False, sched_ops_events=500, seed=3)
     defaults.update(kw)
     return run_kernel_bench(**defaults)
 
@@ -35,8 +35,15 @@ def test_report_shape_and_row_fields():
     assert report["seed"] == 3
     assert report["settings"]["sizes"] == [6]
     benches = {row["bench"] for row in report["results"]}
-    assert benches == {"neighbors_of", "transmit"}
+    assert benches == {"neighbors_of", "transmit", "sched_ops"}
     for row in report["results"]:
+        if row["bench"] == "sched_ops":
+            assert row["n"] == 500
+            assert row["heap_ns_per_op"] > 0
+            assert row["calendar_ns_per_op"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["heap_ns_per_op"] / row["calendar_ns_per_op"])
+            continue
         assert row["n"] == 6
         assert row["scan_ns_per_op"] > 0
         assert row["grid_ns_per_op"] > 0
@@ -45,15 +52,30 @@ def test_report_shape_and_row_fields():
     assert json.loads(json.dumps(report)) == report  # JSON-able throughout
 
 
+def test_sched_ops_zero_disables_kernel():
+    report = _tiny_report(sched_ops_events=0)
+    assert {row["bench"] for row in report["results"]} \
+        == {"neighbors_of", "transmit"}
+
+
 def test_trial_rows_present_when_enabled():
     report = run_kernel_bench(sizes=(6,), rounds=1, transmit_reps=1,
                               trial_sizes=(8,), trial_duration=1.0,
-                              protocols=("ldr",), seed=2)
+                              protocols=("ldr",), seed=2,
+                              sched_ops_events=0, full_trial_sizes=(8,))
     trial_rows = [r for r in report["results"] if r["bench"] == "trial:ldr"]
     assert len(trial_rows) == 1
     row = trial_rows[0]
     assert row["scan_s"] > 0 and row["grid_s"] > 0
     assert row["scan_trials_per_sec"] == pytest.approx(1.0 / row["scan_s"])
+    full_rows = [r for r in report["results"]
+                 if r["bench"] == "full_trial:ldr"]
+    assert len(full_rows) == 1
+    row = full_rows[0]
+    assert row["reference_s"] > 0 and row["fast_s"] > 0
+    assert row["speedup"] == pytest.approx(
+        row["reference_s"] / row["fast_s"])
+    assert report["settings"]["full_trial_sizes"] == [8]
 
 
 def test_progress_callback_sees_every_stage():
@@ -61,6 +83,7 @@ def test_progress_callback_sees_every_stage():
     _tiny_report(progress=lines.append)
     assert any("neighbors_of" in line for line in lines)
     assert any("transmit" in line for line in lines)
+    assert any("sched_ops" in line for line in lines)
 
 
 # ---------------------------------------------------------------------------
@@ -117,7 +140,7 @@ def test_compare_handles_empty_baseline():
 def _cli(tmp_path, *extra):
     out = tmp_path / "BENCH_kernel.json"
     argv = ["--sizes", "6", "--rounds", "1", "--transmit-reps", "1",
-            "--no-trials", "--out", str(out)]
+            "--no-trials", "--sched-ops-events", "500", "--out", str(out)]
     argv.extend(extra)
     return main(argv), out
 

@@ -115,8 +115,10 @@ def test_purge_removes_matching_packets():
 def test_transmission_duration_scales_with_size():
     config = MacConfig(bitrate=1e6, header_bytes=0)
     sim, nodes, sinks = _build({0: (0, 0), 1: (100, 0)}, mac_config=config)
-    big = Packet()
-    big.size_bytes = 12500  # 0.1 s at 1 Mb/s
+    class BigPacket(Packet):
+        size_bytes = 12500  # 0.1 s at 1 Mb/s
+
+    big = BigPacket()
     nodes[0].mac.send(big, next_hop=1)
     sim.run(until=10.0)
     assert sinks[1].received

@@ -11,7 +11,7 @@ import pytest
 from repro.mobility import RandomWaypoint, StaticPlacement
 from repro.net import Node, WirelessChannel
 from repro.net.packet import Frame, Packet
-from repro.net.spatial import CELL_MARGIN, make_index
+from repro.net.spatial import BUCKET_SLACK, CELL_MARGIN, make_index
 from repro.sim import Simulator
 
 
@@ -221,8 +221,8 @@ def test_attach_forces_rebucket():
 
 
 def test_speed_bounded_buckets_survive_across_events():
-    # RandomWaypoint declares max_speed, so buckets built once serve many
-    # events until worst-case drift exhausts the half-range slack.
+    # RandomWaypoint declares max_speed, so a snapshot built once serves
+    # many events until worst-case drift exhausts the slack window.
     sim = Simulator(seed=5)
     mobility = RandomWaypoint(30, 1200.0, 240.0, max_speed=20.0,
                               pause_time=0.0, duration=60.0,
@@ -230,7 +230,8 @@ def test_speed_bounded_buckets_survive_across_events():
     channel = WirelessChannel(sim, mobility, index="grid")
     nodes = [Node(sim, nid, channel) for nid in mobility.node_ids()]
     slack_window = channel.index._bucket_limit
-    assert slack_window == pytest.approx(0.5 * 275.0 * CELL_MARGIN / 20.0)
+    assert slack_window == pytest.approx(
+        (BUCKET_SLACK - 1.0) * 275.0 * CELL_MARGIN / 20.0)
     seen = []
 
     def probe():

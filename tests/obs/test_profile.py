@@ -1,7 +1,11 @@
-"""Tests for the counter/timer profiling registry."""
+"""Tests for the counter/timer profiling registry and stack sampler."""
+
+import time
+
+import pytest
 
 from repro.experiments import ScenarioConfig, run_scenario
-from repro.obs import Profiler
+from repro.obs import Profiler, StackSampler
 
 
 def test_counters_accumulate():
@@ -60,3 +64,49 @@ def test_profile_stays_out_of_metric_rows():
     assert "timers" not in row
     assert "counters" not in row
     assert "profile" not in row
+
+
+def _spin(seconds):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+def test_stack_sampler_collects_folded_stacks():
+    sampler = StackSampler(interval=0.001)
+    with sampler:
+        _spin(0.2)
+    assert sampler.sample_count > 10
+    lines = sampler.collapsed()
+    assert sum(int(line.rsplit(" ", 1)[1]) for line in lines) \
+        == sampler.sample_count
+    # Root-first folded stacks: the busy helper is a leaf somewhere.
+    assert any("_spin" in line.rsplit(" ", 1)[0].split(";")[-1]
+               for line in lines)
+    # Heaviest stack leads (flamegraph tooling does not care, humans do).
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_stack_sampler_write_collapsed(tmp_path):
+    sampler = StackSampler(interval=0.001)
+    with sampler:
+        _spin(0.1)
+    out = tmp_path / "profile.folded"
+    written = sampler.write_collapsed(out)
+    text = out.read_text(encoding="utf-8")
+    assert written == len(text.splitlines()) == len(sampler.samples)
+    for line in text.splitlines():
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) > 0 and stack
+
+
+def test_stack_sampler_guards():
+    with pytest.raises(ValueError):
+        StackSampler(interval=0.0)
+    sampler = StackSampler()
+    sampler.stop()  # stop before start is a no-op
+    with sampler:
+        with pytest.raises(RuntimeError):
+            sampler.start()
+    sampler.stop()  # idempotent after the context exit

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import EventScheduler
+from repro.sim.events import SCHEDULER_BACKENDS, EventScheduler, make_scheduler
 
 
 def test_events_fire_in_time_order():
@@ -106,12 +106,21 @@ def test_events_scheduled_during_run_execute():
     assert sched.now == 3.0
 
 
-def test_step_returns_false_when_empty():
-    sched = EventScheduler()
+@pytest.mark.parametrize("backend", sorted(SCHEDULER_BACKENDS))
+def test_step_returns_false_when_empty(backend):
+    sched = make_scheduler(backend)
     assert sched.step() is False
     sched.schedule(1.0, lambda: None)
     assert sched.step() is True
     assert sched.step() is False
+
+
+def test_event_repr_shows_time_and_state():
+    sched = EventScheduler()
+    event = sched.schedule(1.5, sched.run)
+    assert "1.5" in repr(event) and "pending" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
 
 
 def test_max_events_bounds_execution():
@@ -125,6 +134,35 @@ def test_max_events_bounds_execution():
     sched.schedule(0.0, loop)
     sched.run(max_events=5)
     assert len(fired) == 5
+
+
+@pytest.mark.parametrize("backend", sorted(SCHEDULER_BACKENDS))
+def test_max_events_counts_dispatched_not_drained(backend):
+    # Regression: ``run(max_events=N)`` bounds *dispatched callbacks*.
+    # Cancelled events drained from the queue on the way must not eat
+    # into the budget (the old loop counted every pop, so a burst of
+    # cancellations could stall a bounded run before it fired anything).
+    sched = make_scheduler(backend)
+    fired = []
+    doomed = [sched.schedule(0.5, fired.append, "dead") for _ in range(5)]
+    for event in doomed:
+        event.cancel()
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.schedule(3.0, fired.append, "c")
+    sched.run(max_events=2)
+    assert fired == ["a", "b"]
+    assert sched.now == 2.0
+
+
+@pytest.mark.parametrize("backend", sorted(SCHEDULER_BACKENDS))
+def test_max_events_zero_fires_nothing(backend):
+    sched = make_scheduler(backend)
+    fired = []
+    sched.schedule(1.0, fired.append, "x")
+    sched.run(max_events=0)
+    assert fired == []
+    assert sched.pending_count() == 1
 
 
 def test_peek_time_skips_cancelled():
