@@ -19,7 +19,15 @@ campaign      named extra campaigns (``churn``: crash/reboot/partition
               ``--journal DIR`` journals the run crash-tolerantly and
               ``campaign resume DIR`` continues it after a crash,
               SIGINT/SIGTERM, or power loss — merged results are
-              byte-identical to an uninterrupted run)
+              byte-identical to an uninterrupted run;
+              ``--shards K --shard-index I`` runs one deterministic
+              partition of the trial grid (``--claim`` work-steals
+              shards from DIR/shards/claims/ instead);
+              ``campaign merge DIR`` certifies and renders the union of
+              shard journals (``--partial`` for incomplete coverage,
+              ``--csv``/``--out`` for artifacts) and
+              ``campaign watch DIR`` streams running tables and
+              delivery/latency CDFs as shard journals grow)
 chaos         crash-tolerance self-test: SIGKILL workers and the driver
               mid-campaign, truncate the journal tail, corrupt cache and
               trace bytes, then resume and assert byte-identical rows
@@ -62,6 +70,7 @@ from repro.experiments.campaigns import (
     aggregate_churn,
     format_churn,
     run_churn,
+    run_churn_shard,
 )
 from repro.faults import FaultPlan, FaultPlanError
 from repro.experiments.figures import (
@@ -322,15 +331,136 @@ def _cmd_campaign_resume(args):
     return 0 if not result.failures() else 1
 
 
+def _report_shard_sessions(plan, sessions, root):
+    """Render per-shard completion; shard runs never render the table —
+    that is the aggregator's job (``repro campaign merge``)."""
+    worst = 0
+    for index, result, manifest in sessions:
+        print("shard %d/%d: %d/%d trial(s) complete, %d quarantined, "
+              "%d failed"
+              % (index, plan.shards, len(result.completed()),
+                 len(result.trials), len(result.quarantined()),
+                 result.failed))
+        if result.interrupted:
+            print("shard %d interrupted by %s; resume with:\n  python -m "
+                  "repro campaign churn --journal %s --shards %d "
+                  "--shard-index %d"
+                  % (index, result.interrupted, root, plan.shards, index),
+                  file=sys.stderr)
+            worst = max(worst, 3)
+        elif result.failures():
+            for trial in result.failures():
+                last = (trial.error or "").strip().splitlines()
+                print("  shard %d trial #%d (%s): %s"
+                      % (index, trial.index, trial.config.protocol,
+                         last[-1] if last else "(no error recorded)"),
+                      file=sys.stderr)
+            worst = max(worst, 1)
+    if not sessions:
+        print("no unclaimed shard left on the claim board (all claimed "
+              "or done); inspect with: python -m repro campaign watch %s"
+              % root, file=sys.stderr)
+    print("merge when all shards are done:\n  python -m repro campaign "
+          "merge %s" % root, file=sys.stderr)
+    return worst
+
+
+def _cmd_campaign_churn_sharded(args, campaign):
+    if not args.journal:
+        print("--shards requires --journal DIR (the shared campaign "
+              "directory)", file=sys.stderr)
+        return 2
+    if args.claim == (args.shard_index is not None):
+        print("pick exactly one of --shard-index I or --claim with "
+              "--shards", file=sys.stderr)
+        return 2
+    if args.shard_index is not None \
+            and not 0 <= args.shard_index < args.shards:
+        print("--shard-index %d outside 0..%d"
+              % (args.shard_index, args.shards - 1), file=sys.stderr)
+        return 2
+    _, plan, sessions = run_churn_shard(
+        campaign, args.shards, shard_index=args.shard_index,
+        mode=args.shard_mode, claim=args.claim)
+    return _report_shard_sessions(plan, sessions, args.journal)
+
+
+def _cmd_campaign_merge(args):
+    from repro.exec.aggregate import (
+        AggregateError,
+        CoverageError,
+        format_cdf_line,
+        format_status_line,
+        merge_campaign,
+        write_merge_output,
+        write_rows_csv,
+    )
+    from repro.exec.manifest import ManifestError
+
+    if not args.dir:
+        print("campaign merge needs the campaign directory (the one "
+              "holding shards/ or manifest.jsonl)", file=sys.stderr)
+        return 2
+    try:
+        merged = merge_campaign(args.dir, partial=args.partial)
+    except CoverageError as err:
+        print("cannot certify merge of %s: %s" % (args.dir, err),
+              file=sys.stderr)
+        return 4
+    except (AggregateError, ManifestError, FileNotFoundError, OSError) as err:
+        print("cannot merge %s: %s" % (args.dir, err), file=sys.stderr)
+        return 2
+    for warning in merged.warnings:
+        print("warning: %s" % warning, file=sys.stderr)
+    if merged.labels is not None:
+        print(merged.render_table())
+    print(format_status_line(merged), file=sys.stderr)
+    print("  " + format_cdf_line(merged), file=sys.stderr)
+    if args.csv:
+        count = write_rows_csv(args.csv, merged)
+        print("rows: %d -> %s" % (count, args.csv), file=sys.stderr)
+    if args.out:
+        written = write_merge_output(merged, args.out)
+        print("merged artifacts: %s -> %s"
+              % (", ".join(sorted(written)), args.out), file=sys.stderr)
+    if not merged.complete:
+        print("partial merge: %d gap(s), %d unfinished trial(s) — NOT a "
+              "certified campaign result"
+              % (len(merged.gaps), len(merged.unfinished)),
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_watch(args):
+    from repro.exec.aggregate import watch_campaign
+
+    if not args.dir:
+        print("campaign watch needs the campaign directory", file=sys.stderr)
+        return 2
+    try:
+        return watch_campaign(args.dir, sys.stdout, interval=args.interval,
+                              csv_path=args.csv, once=args.once)
+    except KeyboardInterrupt:
+        print("\nwatch interrupted; shards keep running", file=sys.stderr)
+        return 130
+
+
 def cmd_campaign(args):
     if args.name == "resume":
         return _cmd_campaign_resume(args)
+    if args.name == "merge":
+        return _cmd_campaign_merge(args)
+    if args.name == "watch":
+        return _cmd_campaign_watch(args)
     campaign = _campaign_from(args)
     if args.name == "churn":
         if args.dir:
-            print("positional DIR is only for 'campaign resume'; use "
-                  "--journal DIR to journal a churn run", file=sys.stderr)
+            print("positional DIR is only for 'campaign resume', 'merge' "
+                  "and 'watch'; use --journal DIR to journal a churn run",
+                  file=sys.stderr)
             return 2
+        if args.shards:
+            return _cmd_campaign_churn_sharded(args, campaign)
         labels, result, manifest = run_churn(campaign)
         return _report_churn(labels, result, manifest)
     raise AssertionError("unreachable: argparse restricts choices")
@@ -476,10 +606,46 @@ def main(argv=None):
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("campaign", help="run a named extra campaign")
-    p.add_argument("name", choices=["churn", "resume"])
+    p.add_argument("name", choices=["churn", "resume", "merge", "watch"])
     p.add_argument("dir", nargs="?", default=None,
                    help="campaign directory (for 'resume': the directory "
-                        "holding manifest.jsonl)")
+                        "holding manifest.jsonl; for 'merge'/'watch': the "
+                        "root holding shards/ or a plain journaled "
+                        "campaign)")
+    p.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="partition the campaign's trial keys into K "
+                        "deterministic shards; run one of them (requires "
+                        "--journal DIR plus --shard-index or --claim)")
+    p.add_argument("--shard-index", type=int, default=None, metavar="I",
+                   help="which shard of --shards K this process runs "
+                        "(0-based)")
+    p.add_argument("--shard-mode", choices=["hash", "range"],
+                   default="hash",
+                   help="partition function: 'hash' interleaves keys "
+                        "round-robin by key prefix, 'range' gives each "
+                        "shard a contiguous 64-bit hash interval "
+                        "(default hash)")
+    p.add_argument("--claim", action="store_true",
+                   help="instead of --shard-index, atomically claim "
+                        "unowned shards from the shared claim board under "
+                        "DIR/shards/claims/ and run them until none are "
+                        "left (coordinator-free work stealing)")
+    p.add_argument("--partial", action="store_true",
+                   help="for 'merge'/'watch': render whatever coverage "
+                        "exists instead of refusing to certify an "
+                        "incomplete campaign")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="for 'merge': write per-trial rows as CSV; for "
+                        "'watch': append rows to PATH as they land")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="for 'merge': write table.txt, rows.csv, cdf.csv "
+                        "and merged trace artifacts under DIR")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="for 'watch': seconds between journal polls "
+                        "(default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="for 'watch': render one snapshot and exit "
+                        "(0 when the campaign is complete, 1 otherwise)")
     p.add_argument("--paper-scale", action="store_true")
     p.add_argument("--duration", type=float, default=None)
     p.add_argument("--trials", type=int, default=None)

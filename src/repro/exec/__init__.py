@@ -16,10 +16,23 @@ callback.  Results are bit-identical to a serial in-process loop.
 * :mod:`repro.exec.supervise` — retry/backoff/quarantine policy and stall
   budgets (jitter from the dedicated ``'exec'`` RNG stream).
 * :mod:`repro.exec.progress` — progress snapshots and console rendering.
+* :mod:`repro.exec.shard` — deterministic shard plans, per-shard
+  campaign directories, and work-steal claim tokens (atomic renames).
+* :mod:`repro.exec.aggregate` — merge partial shard result sets and
+  stream running tables/CDFs while trials are still landing
+  (``repro campaign merge`` / ``repro campaign watch``).
 * :mod:`repro.exec.chaos` — the fault-injecting self-test behind
   ``repro chaos``.
 """
 
+from repro.exec.aggregate import (
+    AggregateError,
+    CoverageError,
+    MergedCampaign,
+    merge_campaign,
+    watch_campaign,
+    write_merge_output,
+)
 from repro.exec.cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA,
@@ -42,32 +55,54 @@ from repro.exec.manifest import (
     start_campaign,
 )
 from repro.exec.progress import Progress, console_progress, format_progress
+from repro.exec.shard import (
+    ShardPlan,
+    ShardPlanError,
+    campaign_fingerprint,
+    claim_shard,
+    init_claims,
+    release_shard,
+    start_shard,
+)
 from repro.exec.supervise import RetryPolicy, backoff_delay, stall_budget
 from repro.exec.worker import run_trial_config, run_trial_payload
 
 __all__ = [
+    "AggregateError",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
     "CampaignEngine",
     "CampaignError",
     "CampaignManifest",
     "CampaignResult",
+    "CoverageError",
     "ManifestError",
+    "MergedCampaign",
     "Progress",
     "ResultCache",
     "RetryPolicy",
+    "ShardPlan",
+    "ShardPlanError",
     "TrialResult",
     "TrialTimeout",
     "backoff_delay",
     "call_with_deadline",
+    "campaign_fingerprint",
     "campaign_paths",
+    "claim_shard",
     "console_progress",
     "default_cache_dir",
     "format_progress",
+    "init_claims",
+    "merge_campaign",
+    "release_shard",
     "resume_campaign",
     "run_trial_config",
     "run_trial_payload",
     "stall_budget",
     "start_campaign",
+    "start_shard",
     "trial_key",
+    "watch_campaign",
+    "write_merge_output",
 ]

@@ -12,8 +12,11 @@
 The verdict is the fabric's core promise: after arbitrary crash/corrupt
 interleavings, ``resume`` yields result rows and trace artifacts
 **byte-identical** to the uninterrupted run, with the designated poison
-trial quarantined (not campaign-fatal) in both.  The harness is wired
-into CI as a smoke gate; on failure the journal is the artifact to read.
+trial quarantined (not campaign-fatal) in both.  A final shard leg
+re-runs the grid as two range-mode shards and asserts the merged result
+matches the clean run too — identity under partitioning, not just under
+crashes.  The harness is wired into CI as a smoke gate; on failure the
+journal is the artifact to read.
 
 Fault choices draw from the dedicated ``'exec'`` RNG stream, so a chaos
 failure reproduces from its seed.
@@ -306,7 +309,72 @@ def run_chaos(root, jobs=2, seed=7, trials=2, duration=6.0, timeout=20.0,
         say("chaos: FAILED (%d problem(s)); journal: %s"
             % (len(problems), manifest_path))
         return 1
+
+    # -- shard leg: partition, run both shards, merge, compare ---------
+    problems = _shard_leg(root, configs, clean_rows, clean_quarantined,
+                          jobs=jobs, timeout=timeout, say=say)
+    if problems:
+        for problem in problems:
+            say("FAIL: " + problem)
+        say("chaos: FAILED (%d problem(s) in the shard leg)"
+            % len(problems))
+        return 1
+
     say("chaos: OK — %d row(s) and %d trace artifact(s) byte-identical "
         "after crash+corrupt+resume; poison trial quarantined in both "
-        "runs" % (len(clean_rows), len(clean_traces)))
+        "runs; 2-shard merge matches the clean run"
+        % (len(clean_rows), len(clean_traces)))
     return 0
+
+
+def _shard_leg(root, configs, clean_rows, clean_quarantined, jobs, timeout,
+               say):
+    """Run the grid as two range-mode shards, merge, compare to clean.
+
+    Exercises the other half of the fabric's identity promise: results
+    must be invariant not only under crash/resume but under *partitioning*
+    — a K-shard campaign merged is the same campaign.
+    """
+    from repro.exec.aggregate import merge_campaign
+    from repro.exec.shard import ShardPlan, start_shard
+
+    shard_root = root / "sharded"
+    plan = ShardPlan(2, "range")
+    say("shard leg: re-running the grid as %d range-mode shard(s)"
+        % plan.shards)
+    for index in range(plan.shards):
+        manifest, engine, subset = start_shard(
+            shard_root, configs, plan, index, name="chaos-clean",
+            jobs=jobs, timeout=timeout, quarantine_after=POISON_ATTEMPTS,
+            backoff_base=0.0, trace=True)
+        engine.run([config for _, config in subset])
+        manifest.close()
+
+    merged = merge_campaign(shard_root)
+    problems = []
+    if not merged.complete:
+        problems.append(
+            "shard merge not complete: %d gap(s), %d unfinished"
+            % (len(merged.gaps), len(merged.unfinished)))
+        return problems
+    merged_rows = {t.index: _row_bytes(t.row)
+                   for t in merged.ordered_trials() if t.ok}
+    merged_quarantined = {t.index for t in merged.ordered_trials()
+                          if t.quarantined}
+    if merged_rows.keys() != clean_rows.keys():
+        problems.append("shard-merge row coverage differs: clean=%s "
+                        "merged=%s"
+                        % (sorted(clean_rows), sorted(merged_rows)))
+    for index in sorted(clean_rows.keys() & merged_rows.keys()):
+        if clean_rows[index] != merged_rows[index]:
+            problems.append("row #%d differs between clean and merged "
+                            "shard runs" % index)
+    if merged_quarantined != clean_quarantined:
+        problems.append("shard-merge quarantine set differs: clean=%s "
+                        "merged=%s"
+                        % (sorted(clean_quarantined),
+                           sorted(merged_quarantined)))
+    if not problems:
+        say("shard leg: %d row(s) byte-identical, quarantine set matches"
+            % len(merged_rows))
+    return problems

@@ -255,6 +255,7 @@ class CampaignEngine:
         self.checkpoint_signals = bool(checkpoint_signals)
         self._start = None
         self._interrupted = None
+        self._work_done = 0
         #: Out-of-band warnings emitted during the last :meth:`run`
         #: (pool breakdowns, stalls, corrupt cache/trace entries,
         #: uncancellable deadline overruns).  Also forwarded to the
@@ -275,6 +276,7 @@ class CampaignEngine:
         self._start = time.monotonic()
         self.warnings = []
         self._interrupted = None
+        self._work_done = 0
         if self.manifest is not None and len(self.manifest.entries) != len(trials):
             raise ValueError(
                 "journal registers %d trial(s) but %d config(s) were "
@@ -419,6 +421,10 @@ class CampaignEngine:
                 break
             self._record(trial, FAILED, error=trial.error)
             trial.error = None
+        # Terminal after real execution (row, exhaustion, or quarantine):
+        # this settlement consumed wall-clock, so it advances the ETA
+        # denominator — unlike cache hits and journal-absorbed states.
+        self._work_done += 1
         self._settle(trial, trials)
 
     def _run_pool(self, poolable, trials):
@@ -531,11 +537,13 @@ class CampaignEngine:
         if outcome["ok"]:
             trial.row = outcome["row"]
             trial.worker = outcome.get("worker")
+            self._work_done += 1
             self._settle(trial, trials)
             return
         trial.error = outcome["error"]
         if self.policy.exhausted(trial.attempts):
             trial.quarantined = self.policy.quarantines
+            self._work_done += 1
             self._settle(trial, trials)
             return
         self._record(trial, FAILED, error=trial.error)
@@ -675,4 +683,5 @@ class CampaignEngine:
             elapsed=time.monotonic() - self._start,
             note=note,
             quarantined=quarantined,
+            work=self._work_done,
         ))

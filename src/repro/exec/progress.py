@@ -18,10 +18,10 @@ class Progress:
     """
 
     __slots__ = ("total", "done", "executed", "cached", "failed", "elapsed",
-                 "note", "quarantined")
+                 "note", "quarantined", "work")
 
     def __init__(self, total, done, executed, cached, failed, elapsed,
-                 note=None, quarantined=0):
+                 note=None, quarantined=0, work=None):
         self.total = total
         self.done = done
         self.executed = executed
@@ -30,6 +30,13 @@ class Progress:
         self.elapsed = elapsed
         self.note = note
         self.quarantined = quarantined
+        #: Terminal settlements that actually consumed wall-clock this
+        #: run — executed rows plus failures and quarantines, *excluding*
+        #: cache hits and states absorbed from a resumed journal.  This
+        #: mirrors the journal's terminal records for the session and is
+        #: the honest ETA denominator: a quarantined poison trial burned
+        #: real time, a journal-absorbed one settled for free.
+        self.work = work
 
     @property
     def remaining(self):
@@ -37,14 +44,20 @@ class Progress:
 
     @property
     def eta(self):
-        """Estimated seconds left, or None before any trial has executed.
+        """Estimated seconds left, or None before any wall-clock work.
 
-        Cache hits are ~free, so the estimate scales the mean wall-clock
-        of *executed* trials by the number still outstanding.
+        The mean is taken over *wall-clock-consuming* settlements
+        (:attr:`work`): cache hits are ~free and must not deflate the
+        per-trial estimate, while failed and quarantined trials burned
+        real time and must not inflate it — dividing by successful
+        executions alone misreports as soon as a poison trial starts
+        eating attempts.  Falls back to :attr:`executed` for callers
+        constructing snapshots without the ``work`` count.
         """
-        if self.executed == 0 or self.remaining == 0:
+        denominator = self.work if self.work is not None else self.executed
+        if denominator == 0 or self.remaining == 0:
             return 0.0 if self.remaining == 0 else None
-        return self.elapsed / self.executed * self.remaining
+        return self.elapsed / denominator * self.remaining
 
     def __repr__(self):
         return (

@@ -266,6 +266,100 @@ def run_churn(campaign, protocols=CHURN_PROTOCOLS, num_flows=10):
     return labels, engine.run(configs), manifest
 
 
+def _shard_engine_opts(campaign):
+    """The engine knobs a shard inherits from its campaign."""
+    return {
+        "jobs": campaign.jobs, "retries": campaign.retries,
+        "timeout": campaign.timeout,
+        "quarantine_after": campaign.quarantine_after,
+        "backoff_base": campaign.backoff_base,
+        "backoff_cap": campaign.backoff_cap,
+        "stall_timeout": campaign.stall_timeout,
+        "trace": campaign.trace_dir is not None,
+        "trace_gzip": campaign.trace_gzip,
+    }
+
+
+def _run_one_shard(campaign, root, plan, index, labels, configs,
+                   protocols, num_flows):
+    """Start (or resume) shard ``index`` and run its subset to the end."""
+    from repro.exec.manifest import campaign_paths, resume_campaign
+    from repro.exec.shard import shard_dir, start_shard
+
+    sdir = shard_dir(root, index)
+    manifest_path, _, _ = campaign_paths(sdir)
+    if manifest_path.exists():
+        return resume_campaign(sdir, progress=campaign.progress,
+                               jobs=campaign.jobs)
+    manifest, engine, subset = start_shard(
+        root, configs, plan, index, name="churn", labels=labels,
+        meta={"protocols": list(protocols), "num_flows": num_flows},
+        progress=campaign.progress, **_shard_engine_opts(campaign))
+    return manifest, engine.run([config for _, config in subset])
+
+
+def run_churn_shard(campaign, shards, shard_index=None, mode="hash",
+                    claim=False, protocols=CHURN_PROTOCOLS, num_flows=10):
+    """Run shard(s) of the churn grid; returns ``(labels, plan, sessions)``.
+
+    The grid is partitioned deterministically by content-hash trial key
+    (:class:`~repro.exec.shard.ShardPlan`), so any number of hosts can
+    each run their shard with no coordination and the merged campaign
+    (``repro campaign merge``) is byte-identical to an unsharded run.
+
+    With ``shard_index`` set, exactly that shard runs (a second
+    invocation *resumes* it from its journal).  With ``claim=True`` the
+    call work-steals instead: it claims unclaimed shards one at a time
+    from the shared claim board (atomic renames, see
+    :mod:`repro.exec.shard`) until none remain.  ``sessions`` is
+    ``[(shard_index, result, manifest), ...]`` for every shard this call
+    executed.
+    """
+    import pathlib
+
+    from repro.exec.shard import (
+        ShardPlan,
+        claim_shard,
+        init_claims,
+        release_shard,
+    )
+
+    if campaign.journal is None:
+        raise ValueError("sharded churn requires a journal directory "
+                         "(--journal DIR)")
+    labels, configs = churn_grid(campaign, protocols, num_flows)
+    plan = ShardPlan(shards, mode)
+    root = pathlib.Path(campaign.journal)
+    sessions = []
+    if not claim:
+        if shard_index is None:
+            raise ValueError("pass shard_index or claim=True")
+        manifest, result = _run_one_shard(
+            campaign, root, plan, shard_index, labels, configs,
+            protocols, num_flows)
+        return labels, plan, [(shard_index, result, manifest)]
+    init_claims(root, plan)
+    while True:
+        index = claim_shard(root, plan)
+        if index is None:
+            break
+        try:
+            manifest, result = _run_one_shard(
+                campaign, root, plan, index, labels, configs,
+                protocols, num_flows)
+        except BaseException:
+            # Hand the shard back: the journal keeps whatever landed,
+            # and the next claimant resumes from it.
+            release_shard(root, index, done=False)
+            raise
+        sessions.append((index, result, manifest))
+        if result.interrupted:
+            release_shard(root, index, done=False)
+            break
+        release_shard(root, index, done=True)
+    return labels, plan, sessions
+
+
 def aggregate_churn(labels, result):
     """Aggregate a churn result per (fault plan, protocol) bucket.
 

@@ -1,0 +1,132 @@
+"""ETA honesty: the denominator is wall-clock work, not lucky successes.
+
+Regression pins for a real misreport: the ETA used to divide elapsed
+time by the *executed* count, so a campaign whose early settlements were
+quarantines (or whose terminal states were absorbed for free from a
+resumed journal) reported a nonsense estimate.  The denominator is now
+the count of settlements that actually consumed wall-clock this run —
+executions, exhaustions and quarantines — mirroring the journal's
+terminal records, and excluding cache hits and journal-absorbed states.
+"""
+
+import pytest
+
+import repro.exec.worker as worker_mod
+from repro.exec.cache import ResultCache
+from repro.exec.engine import CampaignEngine
+from repro.exec.manifest import resume_campaign, start_campaign
+from repro.exec.progress import Progress
+from repro.experiments.scenario import ScenarioConfig
+
+
+def _config(seed=1):
+    return ScenarioConfig(num_nodes=8, num_flows=2, duration=5.0, seed=seed)
+
+
+# -- unit: the estimate itself ----------------------------------------
+
+
+def test_eta_divides_by_work_not_executed():
+    # 4 settlements burned 8s of wall-clock; only 1 produced a row.
+    # 4 trials remain: the honest estimate is 8s, not 32s.
+    snap = Progress(total=8, done=4, executed=1, cached=0, failed=2,
+                    elapsed=8.0, quarantined=1, work=4)
+    assert snap.eta == pytest.approx(8.0)
+
+
+def test_eta_none_until_wall_clock_work_exists():
+    # Ten instant cache hits say nothing about the cost of the rest.
+    snap = Progress(total=20, done=10, executed=0, cached=10, failed=0,
+                    elapsed=0.1, work=0)
+    assert snap.eta is None
+
+
+def test_eta_zero_when_campaign_is_done():
+    snap = Progress(total=3, done=3, executed=0, cached=3, failed=0,
+                    elapsed=0.1, work=0)
+    assert snap.eta == 0.0
+
+
+def test_eta_falls_back_to_executed_without_work_count():
+    # Hand-built snapshots (older tests, external callers) omit ``work``.
+    snap = Progress(total=4, done=2, executed=2, cached=0, failed=0,
+                    elapsed=4.0)
+    assert snap.eta == pytest.approx(4.0)
+
+
+# -- engine: who advances the denominator ------------------------------
+
+
+def test_quarantine_advances_the_eta_denominator(monkeypatch):
+    """A quarantined poison trial burned real attempts: it is work.
+
+    The poison trial is first in submission order, so it settles before
+    any row exists.  The old executed-count denominator was 0 at that
+    point and the ETA came back None despite plenty of observed
+    wall-clock; the work count makes it finite immediately.
+    """
+    real = worker_mod.run_scenario
+
+    def poisoned(config):
+        if config.seed == 2:
+            raise RuntimeError("poison trial")
+        return real(config)
+
+    monkeypatch.setattr(worker_mod, "run_scenario", poisoned)
+    snapshots = []
+    engine = CampaignEngine(quarantine_after=2, backoff_base=0.0,
+                            progress=snapshots.append)
+    result = engine.run([_config(2), _config(1), _config(3)])
+    assert [t.index for t in result.quarantined()] == [0]
+
+    first = snapshots[0]
+    assert first.quarantined == 1 and first.executed == 0
+    assert first.work == 1
+    assert first.eta is not None  # the regression: this used to be None
+
+    last = snapshots[-1]
+    assert last.work == 3  # 1 quarantine + 2 executions
+    assert last.eta == 0.0
+
+
+def test_cache_hits_are_not_work(tmp_path):
+    configs = [_config(1), _config(2), _config(3)]
+    CampaignEngine(cache=ResultCache(tmp_path)).run(configs)
+
+    snapshots = []
+    replay = CampaignEngine(cache=ResultCache(tmp_path),
+                            progress=snapshots.append).run(configs)
+    assert replay.cached == 3
+    assert [s.work for s in snapshots] == [0, 0, 0]
+    # No wall-clock work observed mid-run: no estimate, rather than a
+    # bogus one extrapolated from ~free cache lookups.
+    assert snapshots[0].eta is None
+    assert snapshots[-1].eta == 0.0
+
+
+def test_journal_absorbed_states_are_not_work(tmp_path, monkeypatch):
+    """Resume settles finished trials for free; none of them are work."""
+    real = worker_mod.run_scenario
+
+    def poisoned(config):
+        if config.seed == 2:
+            raise RuntimeError("poison trial")
+        return real(config)
+
+    monkeypatch.setattr(worker_mod, "run_scenario", poisoned)
+    root = tmp_path / "camp"
+    configs = [_config(1), _config(2), _config(3)]
+    manifest, engine = start_campaign(root, configs, name="eta",
+                                      quarantine_after=2, backoff_base=0.0)
+    first = engine.run(configs)
+    manifest.close()
+    assert len(first.quarantined()) == 1
+
+    snapshots = []
+    manifest, resumed = resume_campaign(root, progress=snapshots.append)
+    manifest.close()
+    assert resumed.cached == 2
+    assert len(resumed.quarantined()) == 1
+    # The quarantined trial's state came from the journal, the rows from
+    # the cache: zero wall-clock consumed, zero work counted.
+    assert [s.work for s in snapshots] == [0, 0, 0]
